@@ -1,0 +1,82 @@
+// Command dagviz renders dependence DAGs in Graphviz DOT: the raw program
+// DAG, the DAG after URSA's allocation (showing the added sequence edges
+// and spill nodes), or both side by side in one digraph file each.
+//
+// Usage:
+//
+//	dagviz [-kernel] [-width N -regs N] [-after] file > out.dot
+//
+// With no file the paper's Figure 2 example is rendered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ursa"
+)
+
+func main() {
+	var (
+		kernel = flag.Bool("kernel", false, "input is kernel language")
+		width  = flag.Int("width", 2, "functional units (for -after)")
+		regs   = flag.Int("regs", 3, "registers (for -after)")
+		after  = flag.Bool("after", false, "render the DAG after URSA's transformations")
+		block  = flag.Int("block", 0, "block index to render")
+		show   = flag.String("show", "dag", "what to render: dag, reuse-fu, reuse-reg")
+	)
+	flag.Parse()
+
+	var f *ursa.Func
+	var err error
+	switch {
+	case flag.NArg() == 0:
+		f = ursa.PaperExample(false)
+	default:
+		var src []byte
+		src, err = os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *kernel {
+			f, err = ursa.ParseKernel(string(src), 0)
+		} else {
+			f, err = ursa.ParseIR(string(src))
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *block < 0 || *block >= len(f.Blocks) {
+		fatalf("block %d out of range (function has %d)", *block, len(f.Blocks))
+	}
+	g, err := ursa.BuildDAG(f.Blocks[*block])
+	if err != nil {
+		fatalf("building DAG: %v", err)
+	}
+	title := f.Name
+	if *after {
+		m := ursa.VLIW(*width, *regs)
+		rep, err := ursa.Allocate(g, m)
+		if err != nil {
+			fatalf("allocate: %v", err)
+		}
+		title = fmt.Sprintf("%s after URSA on %s (fits=%v)", f.Name, m.Name, rep.Fits)
+	}
+	switch *show {
+	case "dag":
+		fmt.Print(ursa.Dot(g, title))
+	case "reuse-fu":
+		fmt.Print(ursa.ReuseDotFU(g, title+" (Reuse_FU)"))
+	case "reuse-reg":
+		fmt.Print(ursa.ReuseDotReg(g, title+" (Reuse_Reg)"))
+	default:
+		fatalf("unknown -show %q (want dag, reuse-fu, reuse-reg)", *show)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dagviz: "+format+"\n", args...)
+	os.Exit(1)
+}

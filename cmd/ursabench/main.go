@@ -1,0 +1,64 @@
+// Command ursabench regenerates every table and figure of the evaluation
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+// outputs). Each experiment recomputes its results from scratch: the paper
+// figures are checked exactly, and the constructed tables compare URSA
+// against the phase-ordered baselines.
+//
+// Usage:
+//
+//	ursabench           # run everything
+//	ursabench T1 T2     # run selected experiments
+//	ursabench -list     # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ursa/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	selected := experiments.All()
+	if flag.NArg() > 0 {
+		selected = selected[:0]
+		for _, id := range flag.Args() {
+			e := experiments.ByID(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "ursabench: unknown experiment %q\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		tbl, err := e.Run()
+		if tbl != nil {
+			fmt.Println(tbl)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ursabench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,157 @@
+// Command ursac is the compiler driver: it reads a program — textual
+// three-address IR (.tac) or the kernel language (.k) — compiles it with a
+// selected pipeline onto a configurable VLIW machine, and prints the
+// resulting instruction words, allocation report, and (optionally) the
+// result of executing the code on the simulator.
+//
+// Usage:
+//
+//	ursac -pipeline ursa -width 4 -regs 8 [-kernel] [-unroll N] [-run] [-dot] file
+//
+// With no file, a built-in demo (the paper's Figure 2 example) compiles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ursa"
+)
+
+func main() {
+	var (
+		pipelineName = flag.String("pipeline", "ursa", "pipeline: ursa, prepass, postpass, integrated-list")
+		width        = flag.Int("width", 4, "functional units (homogeneous)")
+		regs         = flag.Int("regs", 8, "registers per register file")
+		kernel       = flag.Bool("kernel", false, "input is kernel language (default: .k files)")
+		unroll       = flag.Int("unroll", 0, "unroll factor for kernel-language for loops")
+		run          = flag.Bool("run", false, "execute the compiled code on the simulator")
+		dot          = flag.Bool("dot", false, "print the dependence DAG (first block) in DOT instead of compiling")
+		trace        = flag.Bool("trace", false, "print the allocator's transformation trace")
+		realistic    = flag.Bool("latency", false, "use realistic multi-cycle latencies")
+		optimize     = flag.Bool("O", false, "run scalar optimizations (fold/copy/CSE/DCE) before compiling")
+	)
+	flag.Parse()
+
+	method, ok := parseMethod(*pipelineName)
+	if !ok {
+		fatalf("unknown pipeline %q", *pipelineName)
+	}
+	m := ursa.VLIW(*width, *regs)
+	if *realistic {
+		m.Latency = ursa.RealisticLatency
+	}
+
+	f, err := loadInput(flag.Arg(0), *kernel, *unroll)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *optimize {
+		st := ursa.Optimize(f)
+		fmt.Fprintf(os.Stderr, "# optimizer: %s\n", st.String())
+	}
+
+	if *dot {
+		g, err := ursa.BuildDAG(f.Blocks[0])
+		if err != nil {
+			fatalf("building DAG: %v", err)
+		}
+		fmt.Print(ursa.Dot(g, f.Name))
+		return
+	}
+
+	if *trace && method == ursa.URSA {
+		// Show the allocation narrative for the first block before the
+		// full compilation.
+		g, err := ursa.BuildDAG(f.Blocks[0])
+		if err != nil {
+			fatalf("building DAG: %v", err)
+		}
+		if _, err := ursa.AllocateOpts(g, m, ursa.AllocOptions{Trace: os.Stderr}); err != nil {
+			fatalf("allocate: %v", err)
+		}
+	}
+
+	fp, stats, err := ursa.CompileFunc(f, m, method)
+	if err != nil {
+		fatalf("compile: %v", err)
+	}
+	fmt.Printf("# %s: %s pipeline on %s\n", f.Name, method, m)
+	for i, b := range f.Blocks {
+		fmt.Printf("%s:\n%s", b.Label, fp.Blocks[i].String())
+	}
+	fmt.Printf("# words=%d spill-ops=%d regs-used=%d int / %d fp\n",
+		stats.Words, stats.SpillOps, stats.RegsUsed[0], stats.RegsUsed[1])
+	if method == ursa.URSA {
+		fmt.Printf("# ursa: %d transformations, fits=%v\n", stats.URSATransforms, stats.URSAFits)
+	}
+
+	if *run {
+		res, err := fp.Run(ursa.NewState(), 10_000_000)
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		fmt.Printf("# executed: %d cycles, %d instructions (%.2f ipc), %d spill ops\n",
+			res.Cycles, res.Issued, float64(res.Issued)/float64(res.Cycles), res.SpillOps)
+		printMem(res.State)
+	}
+}
+
+// printMem dumps the final non-spill memory cells in sorted order.
+func printMem(st *ursa.State) {
+	type cell struct {
+		addr ursa.Addr
+		val  int64
+	}
+	var cells []cell
+	for a, w := range st.Mem {
+		if len(a.Sym) >= 5 && a.Sym[:5] == "spill" {
+			continue
+		}
+		cells = append(cells, cell{a, w.Int()})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].addr.Sym != cells[j].addr.Sym {
+			return cells[i].addr.Sym < cells[j].addr.Sym
+		}
+		return cells[i].addr.Off < cells[j].addr.Off
+	})
+	for _, c := range cells {
+		fmt.Printf("# mem %s[%d] = %d\n", c.addr.Sym, c.addr.Off, c.val)
+	}
+}
+
+func parseMethod(name string) (ursa.Method, bool) {
+	for _, m := range ursa.Methods {
+		if m.String() == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+func loadInput(path string, kernel bool, unroll int) (*ursa.Func, error) {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "# no input file: compiling the paper's Figure 2 example")
+		return ursa.PaperExample(true), nil
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if kernel || hasSuffix(path, ".k") {
+		return ursa.ParseKernel(string(src), unroll)
+	}
+	return ursa.ParseIR(string(src))
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ursac: "+format+"\n", args...)
+	os.Exit(1)
+}

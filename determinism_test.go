@@ -1,0 +1,59 @@
+package ursa_test
+
+import (
+	"testing"
+
+	"ursa"
+)
+
+// TestCompilationDeterminism: compiling the same input twice must emit
+// byte-identical programs — every heuristic in the allocator breaks ties
+// deterministically, so results are reproducible across runs despite Go's
+// randomized map iteration.
+func TestCompilationDeterminism(t *testing.T) {
+	k := ursa.KernelByName("fir8")
+	m := ursa.VLIW(4, 6)
+	render := func() string {
+		f, err := ursa.ParseKernel(k.Source, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, _, err := ursa.CompileFunc(f, m, ursa.URSA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, prog := range fp.Blocks {
+			out += prog.String()
+		}
+		return out
+	}
+	first := render()
+	for i := 0; i < 3; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d differs from run 0:\n%s\nvs\n%s", i+1, got, first)
+		}
+	}
+}
+
+// TestAllPipelinesDeterministic extends the check to the baselines on the
+// paper example.
+func TestAllPipelinesDeterministic(t *testing.T) {
+	m := ursa.VLIW(4, 4)
+	for _, method := range ursa.Methods {
+		render := func() string {
+			f := ursa.PaperExample(true)
+			prog, _, err := ursa.CompileBlock(f.Blocks[0], m, method)
+			if err != nil {
+				t.Fatalf("%s: %v", method, err)
+			}
+			return prog.String()
+		}
+		first := render()
+		for i := 0; i < 3; i++ {
+			if got := render(); got != first {
+				t.Fatalf("%s: nondeterministic output", method)
+			}
+		}
+	}
+}

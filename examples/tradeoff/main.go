@@ -1,0 +1,68 @@
+// Tradeoff: a compiler/architecture co-design sweep. For one kernel, vary
+// the machine's issue width and register-file size and chart where extra
+// hardware stops paying off under each pipeline — the crossover analysis a
+// VLIW architect would run with this library. URSA's curve shows the paper's
+// point: with unified allocation the compiler exploits small register files
+// gracefully instead of falling off a spill cliff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ursa"
+)
+
+func main() {
+	name := flag.String("kernel", "poly", "kernel to sweep")
+	unroll := flag.Int("unroll", 2, "loop unroll factor")
+	flag.Parse()
+
+	k := ursa.KernelByName(*name)
+	if k == nil {
+		log.Fatalf("unknown kernel %q (try: fir8 dot saxpy hydro tridiag matmul4 poly fft2 stencil3 maxloc)", *name)
+	}
+	f, err := ursa.ParseKernel(k.Source, *unroll)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("kernel %s, unroll %d\n\n", k.Name, *unroll)
+
+	fmt.Println("register sweep at width 4 (cycles):")
+	fmt.Printf("%6s", "regs")
+	for _, m := range ursa.Methods {
+		fmt.Printf(" %16s", m)
+	}
+	fmt.Println()
+	for _, regs := range []int{3, 4, 6, 8, 12, 16} {
+		fmt.Printf("%6d", regs)
+		for _, method := range ursa.Methods {
+			st, err := ursa.EvaluateFunc(f, ursa.VLIW(4, regs), method, k.State(1), 50_000_000)
+			if err != nil {
+				log.Fatalf("regs=%d %s: %v", regs, method, err)
+			}
+			fmt.Printf(" %16d", st.Cycles)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nwidth sweep at 8 registers (cycles):")
+	fmt.Printf("%6s", "width")
+	for _, m := range ursa.Methods {
+		fmt.Printf(" %16s", m)
+	}
+	fmt.Println()
+	for _, width := range []int{1, 2, 4, 8} {
+		fmt.Printf("%6d", width)
+		for _, method := range ursa.Methods {
+			st, err := ursa.EvaluateFunc(f, ursa.VLIW(width, 8), method, k.State(1), 50_000_000)
+			if err != nil {
+				log.Fatalf("width=%d %s: %v", width, method, err)
+			}
+			fmt.Printf(" %16d", st.Cycles)
+		}
+		fmt.Println()
+	}
+}

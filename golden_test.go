@@ -1,0 +1,71 @@
+package ursa_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"ursa"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_results.txt")
+
+// goldenLine renders one measurement row.
+func goldenLine(kernel string, method ursa.Method, st *ursa.Stats) string {
+	return fmt.Sprintf("%s %s cycles=%d spills=%d regs=%d",
+		kernel, method, st.Cycles, st.SpillOps, st.RegsUsed[0]+st.RegsUsed[1])
+}
+
+// computeGolden evaluates a fixed slice of the suite on a fixed machine.
+// Every quantity involved is deterministic (seeded inputs, deterministic
+// heuristics), so this doubles as a cross-platform reproducibility check.
+func computeGolden(t *testing.T) []string {
+	t.Helper()
+	m := ursa.VLIW(4, 6)
+	var lines []string
+	for _, name := range []string{"dot", "poly", "stencil3", "horner", "cmul"} {
+		k := ursa.KernelByName(name)
+		f, err := ursa.ParseKernel(k.Source, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, method := range ursa.Methods {
+			st, err := ursa.EvaluateFunc(f, m, method, k.State(1), 50_000_000)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, method, err)
+			}
+			lines = append(lines, goldenLine(name, method, st))
+		}
+	}
+	return lines
+}
+
+// TestGoldenResults pins the headline measurements: any heuristic change
+// that shifts cycles, spills, or register usage shows up as a diff here.
+// Refresh intentionally with `go test -run Golden -update .`.
+func TestGoldenResults(t *testing.T) {
+	got := computeGolden(t)
+	const path = "testdata/golden_results.txt"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	want := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d rows, computed %d (refresh with -update)", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("row %d drifted:\n  golden:   %s\n  computed: %s", i, want[i], got[i])
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package assign implements URSA's resource assignment phase (§2): mapping
+// the scheduled DAG's virtual values onto physical registers and emitting
+// VLIW instruction words. When the allocation phase left residual excess —
+// or when a phase-ordered baseline scheduled without regard for registers —
+// assignment falls back to spill patching: spill code is inserted into the
+// linearized schedule and the instructions are re-packed in order, the
+// classic cost the paper's unified approach avoids.
+package assign
+
+import (
+	"fmt"
+	"sort"
+
+	"ursa/internal/dag"
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+	"ursa/internal/sched"
+)
+
+// Program is executable VLIW code: instruction words over physical
+// registers.
+type Program struct {
+	// Func holds the physical register space; its single block lists the
+	// instructions in issue order (for printing and verification).
+	Func    *ir.Func
+	Machine *machine.Config
+	// Words is the VLIW schedule: Words[c] are the instructions issued in
+	// cycle c (possibly empty).
+	Words [][]*ir.Instr
+	// Spills counts spill stores inserted during assignment (URSA's own
+	// DAG-level spills appear as ordinary instructions, not here).
+	Spills int
+	// RegsUsed is the number of distinct physical registers touched per
+	// class.
+	RegsUsed [ir.NumClasses]int
+	// OutMap maps original live-out virtual registers to the physical
+	// register holding them at the end.
+	OutMap map[ir.VReg]ir.VReg
+}
+
+// Cycles returns the makespan.
+func (p *Program) Cycles() int { return len(p.Words) }
+
+// Instrs returns all instructions in issue order.
+func (p *Program) Instrs() []*ir.Instr {
+	var out []*ir.Instr
+	for _, w := range p.Words {
+		out = append(out, w...)
+	}
+	return out
+}
+
+// String renders the program one word per line.
+func (p *Program) String() string {
+	var sb []byte
+	for c, w := range p.Words {
+		sb = append(sb, fmt.Sprintf("%4d:", c)...)
+		if len(w) == 0 {
+			sb = append(sb, "  (stall)"...)
+		}
+		for _, in := range w {
+			sb = append(sb, "  ["...)
+			sb = append(sb, p.Func.InstrString(in)...)
+			sb = append(sb, ']')
+		}
+		sb = append(sb, '\n')
+	}
+	return string(sb)
+}
+
+// physSpace pre-allocates the machine's register files in a fresh function.
+type physSpace struct {
+	f    *ir.Func
+	regs [ir.NumClasses][]ir.VReg
+}
+
+func newPhysSpace(name string, m *machine.Config) *physSpace {
+	ps := &physSpace{f: ir.NewFunc(name)}
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		prefix := "r"
+		if c == ir.ClassFP {
+			prefix = "f"
+		}
+		for i := 0; i < m.Regs[c]; i++ {
+			ps.regs[c] = append(ps.regs[c], ps.f.NewReg(fmt.Sprintf("%s%d", prefix, i), c))
+		}
+	}
+	return ps
+}
+
+// Registers performs clean register assignment on a schedule whose pressure
+// fits the machine, returning the emitted program. It fails with
+// ErrPressure if any cycle needs more registers than the file provides; the
+// caller then falls back to EmitWithSpills.
+func Registers(s *sched.Schedule, m *machine.Config) (*Program, error) {
+	g := s.Graph
+	f := g.Func
+	ps := newPhysSpace(f.Name+".vliw", m)
+
+	// lastUse[v] = last issue cycle reading v; defCycle[v] = issue cycle.
+	lastUse := map[ir.VReg]int{}
+	defCycle := map[ir.VReg]int{}
+	for _, p := range s.Placements {
+		in := g.Nodes[p.Node].Instr
+		if in.Dst != ir.NoReg {
+			defCycle[in.Dst] = p.Cycle
+		}
+		for _, u := range in.Uses() {
+			if p.Cycle > lastUse[u] {
+				lastUse[u] = p.Cycle
+			}
+			if _, ok := lastUse[u]; !ok {
+				lastUse[u] = p.Cycle
+			}
+		}
+	}
+
+	// Free lists per class; live-ins allocated up front.
+	free := [ir.NumClasses][]ir.VReg{}
+	for c := range free {
+		free[c] = append([]ir.VReg(nil), ps.regs[c]...)
+	}
+	assign := map[ir.VReg]ir.VReg{}
+	used := [ir.NumClasses]map[ir.VReg]bool{}
+	for c := range used {
+		used[c] = map[ir.VReg]bool{}
+	}
+	alloc := func(v ir.VReg) (ir.VReg, error) {
+		c := f.ClassOf(v)
+		if len(free[c]) == 0 {
+			return ir.NoReg, &ErrPressure{Class: c, Value: f.NameOf(v)}
+		}
+		p := free[c][0]
+		free[c] = free[c][1:]
+		assign[v] = p
+		used[c][p] = true
+		return p, nil
+	}
+	releaseAt := map[int][]ir.VReg{} // cycle -> values whose last use is here
+	var liveIns []ir.VReg
+	seen := map[ir.VReg]bool{}
+	for _, p := range s.Placements {
+		in := g.Nodes[p.Node].Instr
+		for _, u := range in.Uses() {
+			if _, defined := defCycle[u]; !defined && !seen[u] {
+				seen[u] = true
+				liveIns = append(liveIns, u)
+			}
+		}
+	}
+	sort.Slice(liveIns, func(i, j int) bool { return liveIns[i] < liveIns[j] })
+	for _, v := range liveIns {
+		if _, err := alloc(v); err != nil {
+			return nil, err
+		}
+		releaseAt[lastUse[v]] = append(releaseAt[lastUse[v]], v)
+	}
+
+	// Walk cycles: free expiring values first, then allocate this cycle's
+	// definitions (reads happen at cycle start, writes at cycle end).
+	byCycle := map[int][]sched.Placement{}
+	for _, p := range s.Placements {
+		byCycle[p.Cycle] = append(byCycle[p.Cycle], p)
+	}
+	prog := &Program{
+		Func:    ps.f,
+		Machine: m,
+		Words:   make([][]*ir.Instr, s.Cycles),
+		OutMap:  map[ir.VReg]ir.VReg{},
+	}
+	rename := func(in *ir.Instr) (*ir.Instr, error) {
+		out := in.Clone()
+		for i, a := range out.Args {
+			p, ok := assign[a]
+			if !ok {
+				return nil, fmt.Errorf("assign: %s read before allocation", f.NameOf(a))
+			}
+			out.Args[i] = p
+		}
+		if out.Index != ir.NoReg {
+			p, ok := assign[out.Index]
+			if !ok {
+				return nil, fmt.Errorf("assign: index %s read before allocation", f.NameOf(out.Index))
+			}
+			out.Index = p
+		}
+		if out.Dst != ir.NoReg {
+			out.Dst = assign[out.Dst]
+		}
+		return out, nil
+	}
+
+	for cycle := 0; cycle < s.Cycles; cycle++ {
+		for _, v := range releaseAt[cycle] {
+			if g.LiveOut[v] {
+				continue
+			}
+			c := f.ClassOf(v)
+			free[c] = append(free[c], assign[v])
+		}
+		for _, p := range byCycle[cycle] {
+			in := g.Nodes[p.Node].Instr
+			if in.Dst != ir.NoReg {
+				if _, err := alloc(in.Dst); err != nil {
+					return nil, err
+				}
+				end, hasUse := lastUse[in.Dst], true
+				if _, ok := lastUse[in.Dst]; !ok {
+					hasUse = false
+				}
+				switch {
+				case g.LiveOut[in.Dst]:
+					// Held to the end.
+				case hasUse:
+					releaseAt[end] = append(releaseAt[end], in.Dst)
+				default:
+					// Dead value: free immediately after its cycle.
+					releaseAt[cycle+1] = append(releaseAt[cycle+1], in.Dst)
+				}
+			}
+			out, err := rename(in)
+			if err != nil {
+				return nil, err
+			}
+			prog.Words[cycle] = append(prog.Words[cycle], out)
+		}
+	}
+	for v := range g.LiveOut {
+		if p, ok := assign[v]; ok {
+			prog.OutMap[v] = p
+		}
+	}
+	for c := range used {
+		prog.RegsUsed[c] = len(used[c])
+	}
+	fillBlock(prog)
+	return prog, nil
+}
+
+// ErrPressure reports that a schedule demands more registers than the file
+// holds.
+type ErrPressure struct {
+	Class ir.Class
+	Value string
+}
+
+func (e *ErrPressure) Error() string {
+	return fmt.Sprintf("assign: out of %s registers allocating %s", e.Class, e.Value)
+}
+
+func fillBlock(p *Program) {
+	b := p.Func.NewBlock("entry")
+	for _, w := range p.Words {
+		for _, in := range w {
+			b.Append(in)
+		}
+	}
+}
+
+// Emit schedules the DAG and assigns registers, falling back to spill
+// patching when the schedule's pressure exceeds the machine. It returns the
+// program and the (pre-patch) schedule.
+func Emit(g *dag.Graph, m *machine.Config, opts sched.Options) (*Program, *sched.Schedule, error) {
+	s, err := sched.List(g, m, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := Registers(s, m)
+	if err == nil {
+		return prog, s, nil
+	}
+	if _, ok := err.(*ErrPressure); !ok {
+		return nil, nil, err
+	}
+	prog, err = EmitWithSpills(s, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, s, nil
+}

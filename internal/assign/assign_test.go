@@ -1,0 +1,189 @@
+package assign
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ursa/internal/dag"
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+	"ursa/internal/sched"
+)
+
+const paperSrc = `
+func paper {
+entry:
+	v = load V[0]
+	w = muli v, 2
+	x = muli v, 3
+	y = addi v, 5
+	t1 = add w, x
+	t2 = mul w, x
+	t3 = muli y, 2
+	t4 = divi y, 3
+	t5 = div t1, t2
+	t6 = add t3, t4
+	z = add t5, t6
+	store Z[0], z
+}
+`
+
+func buildPaper(t testing.TB) (*ir.Func, *dag.Graph) {
+	t.Helper()
+	f := ir.MustParse(paperSrc)
+	g, err := dag.Build(f.Blocks[0])
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return f, g
+}
+
+func TestRegistersCleanAssignment(t *testing.T) {
+	_, g := buildPaper(t)
+	m := machine.VLIW(4, 8)
+	s, err := sched.List(g, m, sched.Options{})
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	prog, err := Registers(s, m)
+	if err != nil {
+		t.Fatalf("Registers: %v", err)
+	}
+	if prog.Spills != 0 {
+		t.Errorf("clean assignment inserted %d spills", prog.Spills)
+	}
+	if prog.RegsUsed[ir.ClassInt] > 8 {
+		t.Errorf("used %d registers, machine has 8", prog.RegsUsed[ir.ClassInt])
+	}
+	if got := len(prog.Instrs()); got != 12 {
+		t.Errorf("emitted %d instructions, want 12", got)
+	}
+	if err := ir.Verify(prog.Func); err != nil {
+		t.Errorf("emitted function invalid: %v", err)
+	}
+}
+
+func TestRegistersFailsUnderPressure(t *testing.T) {
+	_, g := buildPaper(t)
+	m := machine.VLIW(4, 2) // far below the width of 5
+	s, err := sched.List(g, m, sched.Options{})
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	_, err = Registers(s, m)
+	if err == nil {
+		t.Fatal("assignment succeeded with 2 registers")
+	}
+	if _, ok := err.(*ErrPressure); !ok {
+		t.Fatalf("error = %v, want *ErrPressure", err)
+	}
+}
+
+func TestEmitWithSpillsRecovers(t *testing.T) {
+	_, g := buildPaper(t)
+	m := machine.VLIW(4, 3)
+	s, err := sched.List(g, m, sched.Options{})
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	prog, err := EmitWithSpills(s, m)
+	if err != nil {
+		t.Fatalf("EmitWithSpills: %v", err)
+	}
+	if prog.Spills == 0 {
+		t.Error("no spills inserted despite pressure > 3")
+	}
+	if prog.RegsUsed[ir.ClassInt] > 3 {
+		t.Errorf("used %d registers, machine has 3", prog.RegsUsed[ir.ClassInt])
+	}
+}
+
+func TestEmitFallsBack(t *testing.T) {
+	_, g := buildPaper(t)
+	m := machine.VLIW(4, 3)
+	prog, _, err := Emit(g, m, sched.Options{})
+	if err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	if prog.Spills == 0 {
+		t.Error("fallback path not taken")
+	}
+}
+
+func randomBlockWithStores(rng *rand.Rand, n int) *ir.Func {
+	f := ir.NewFunc("rand")
+	b := f.NewBlock("entry")
+	var vals []ir.VReg
+	for i := 0; i < n; i++ {
+		dst := f.NewReg(fmt.Sprintf("v%d", i), ir.ClassInt)
+		switch {
+		case len(vals) == 0 || rng.Intn(5) == 0:
+			b.Append(&ir.Instr{Op: ir.Load, Dst: dst, Sym: "A", Off: int64(i % 8)})
+		case rng.Intn(4) == 0:
+			a := vals[rng.Intn(len(vals))]
+			b.Append(&ir.Instr{Op: ir.MulI, Dst: dst, Args: []ir.VReg{a}, Imm: int64(1 + rng.Intn(5))})
+		default:
+			a := vals[rng.Intn(len(vals))]
+			c := vals[rng.Intn(len(vals))]
+			op := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Xor}[rng.Intn(4)]
+			b.Append(&ir.Instr{Op: op, Dst: dst, Args: []ir.VReg{a, c}})
+		}
+		vals = append(vals, dst)
+		if rng.Intn(6) == 0 {
+			b.Append(&ir.Instr{Op: ir.Store, Args: []ir.VReg{dst}, Sym: "OUT", Off: int64(i)})
+		}
+	}
+	b.Append(&ir.Instr{Op: ir.Store, Args: []ir.VReg{vals[len(vals)-1]}, Sym: "OUT", Off: 999})
+	// Consume otherwise-dead values so the block has no live-outs: a
+	// machine cannot end a region with more register-resident results than
+	// it has registers.
+	used := map[ir.VReg]bool{}
+	for _, in := range b.Instrs {
+		for _, u := range in.Uses() {
+			used[u] = true
+		}
+	}
+	for i, v := range vals {
+		if !used[v] {
+			b.Append(&ir.Instr{Op: ir.Store, Args: []ir.VReg{v}, Sym: "DEAD", Off: int64(i)})
+		}
+	}
+	return f
+}
+
+// TestEmitRandomPrograms checks the full emit path (clean or spilled) on
+// random programs and machines: the emitted function must verify, register
+// usage must respect the machine, and instruction counts must cover every
+// original operation.
+func TestEmitRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		f := randomBlockWithStores(rng, 5+rng.Intn(20))
+		g, err := dag.Build(f.Blocks[0])
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		m := machine.VLIW(1+rng.Intn(4), 2+rng.Intn(8))
+		if rng.Intn(2) == 0 {
+			m.Latency = machine.RealisticLatency
+		}
+		prog, _, err := Emit(g, m, sched.Options{})
+		if err != nil {
+			t.Fatalf("trial %d (%s): Emit: %v", trial, m.Name, err)
+		}
+		if err := ir.Verify(prog.Func); err != nil {
+			t.Fatalf("trial %d: invalid emitted code: %v", trial, err)
+		}
+		for c := ir.Class(0); c < ir.NumClasses; c++ {
+			if prog.RegsUsed[c] > m.Regs[c] {
+				t.Fatalf("trial %d: class %s used %d of %d regs",
+					trial, c, prog.RegsUsed[c], m.Regs[c])
+			}
+		}
+		want := len(f.Blocks[0].Instrs)
+		if got := len(prog.Instrs()); got < want {
+			t.Fatalf("trial %d: emitted %d instructions, original had %d", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package assign
+
+import (
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+	"ursa/internal/sched"
+)
+
+// FromSchedule emits a program from a schedule whose graph already uses
+// physical registers (the postpass pipeline: register allocation ran before
+// scheduling, so no assignment is needed). outMap carries the allocator's
+// live-out locations and spills its spill count.
+func FromSchedule(s *sched.Schedule, m *machine.Config, outMap map[ir.VReg]ir.VReg, spills int) *Program {
+	g := s.Graph
+	prog := &Program{
+		Func:    g.Func,
+		Machine: m,
+		Words:   make([][]*ir.Instr, s.Cycles),
+		Spills:  spills,
+		OutMap:  map[ir.VReg]ir.VReg{},
+	}
+	used := [ir.NumClasses]map[ir.VReg]bool{}
+	for c := range used {
+		used[c] = map[ir.VReg]bool{}
+	}
+	for _, p := range s.Placements {
+		in := g.Nodes[p.Node].Instr
+		prog.Words[p.Cycle] = append(prog.Words[p.Cycle], in)
+		for _, u := range in.Uses() {
+			used[g.Func.ClassOf(u)][u] = true
+		}
+		if in.Dst != ir.NoReg {
+			used[g.Func.ClassOf(in.Dst)][in.Dst] = true
+		}
+	}
+	for orig, phys := range outMap {
+		prog.OutMap[orig] = phys
+	}
+	for c := range used {
+		prog.RegsUsed[c] = len(used[c])
+	}
+	return prog
+}

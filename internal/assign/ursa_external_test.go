@@ -1,0 +1,62 @@
+package assign_test
+
+import (
+	"testing"
+
+	"ursa/internal/assign"
+	"ursa/internal/core"
+	"ursa/internal/dag"
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+	"ursa/internal/sched"
+)
+
+const paperSrcExt = `
+func paper {
+entry:
+	v = load V[0]
+	w = muli v, 2
+	x = muli v, 3
+	y = addi v, 5
+	t1 = add w, x
+	t2 = mul w, x
+	t3 = muli y, 2
+	t4 = divi y, 3
+	t5 = div t1, t2
+	t6 = add t3, t4
+	z = add t5, t6
+	store Z[0], z
+}
+`
+
+// TestEmitAfterURSANeedsNoSpills checks URSA's promise: after a fitting
+// allocation, assignment succeeds without last-resort spills for the
+// schedules the list scheduler produces. (External test package: core
+// imports assign for its outcome-based attempt selection.)
+func TestEmitAfterURSANeedsNoSpills(t *testing.T) {
+	for _, regs := range []int{3, 4, 5} {
+		f := ir.MustParse(paperSrcExt)
+		g, err := dag.Build(f.Blocks[0])
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		m := machine.VLIW(4, regs)
+		rep, err := core.Run(g, core.Options{Machine: m})
+		if err != nil {
+			t.Fatalf("regs=%d: URSA: %v", regs, err)
+		}
+		if !rep.Fits && !rep.ScheduleClean {
+			t.Fatalf("regs=%d: URSA neither fit nor clean: %v", regs, rep.FinalWidths)
+		}
+		prog, _, err := assign.Emit(g, m, sched.Options{})
+		if err != nil {
+			t.Fatalf("regs=%d: Emit: %v", regs, err)
+		}
+		if prog.Spills != 0 {
+			t.Errorf("regs=%d: assignment inserted %d spills after URSA fit", regs, prog.Spills)
+		}
+		if prog.RegsUsed[ir.ClassInt] > regs {
+			t.Errorf("regs=%d: used %d registers", regs, prog.RegsUsed[ir.ClassInt])
+		}
+	}
+}

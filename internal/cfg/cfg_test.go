@@ -1,0 +1,125 @@
+package cfg
+
+import (
+	"testing"
+
+	"ursa/internal/frontend"
+	"ursa/internal/ir"
+)
+
+func loopUnit(t *testing.T) *frontend.Unit {
+	t.Helper()
+	u, err := frontend.Compile(`
+		var s = 0;
+		for i = 0 to 10 {
+			if (c[i] > 0) { s = s + c[i]; } else { s = s - 1; }
+		}
+		out[0] = s;
+	`, frontend.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return u
+}
+
+func TestBuildStructure(t *testing.T) {
+	u := loopUnit(t)
+	g, err := Build(u.Func)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(g.Blocks) != len(u.Func.Blocks) {
+		t.Fatalf("blocks = %d", len(g.Blocks))
+	}
+	// Every non-returning block must have at least one successor except
+	// the layout-last block.
+	for i := range g.Blocks {
+		if i == len(g.Blocks)-1 {
+			continue
+		}
+		if len(g.Succs(i)) == 0 {
+			t.Errorf("block %s has no successors", g.Blocks[i].Label)
+		}
+		for _, s := range g.Succs(i) {
+			found := false
+			for _, p := range g.Preds(s) {
+				if p == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d missing reverse link", i, s)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsUnknownTarget(t *testing.T) {
+	f := ir.NewFunc("bad")
+	b := f.NewBlock("entry")
+	b.Append(&ir.Instr{Op: ir.Br, Sym: "nowhere"})
+	if _, err := Build(f); err == nil {
+		t.Fatal("unknown branch target accepted")
+	}
+}
+
+func TestProfileRunCounts(t *testing.T) {
+	u := loopUnit(t)
+	g, err := Build(u.Func)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	init := ir.NewState()
+	for i := int64(0); i < 10; i++ {
+		v := int64(1)
+		if i%3 == 0 {
+			v = -1 // 4 of 10 iterations take the else side
+		}
+		init.StoreInt("c", i, v)
+	}
+	prof, err := ProfileRun(g, init, 100000)
+	if err != nil {
+		t.Fatalf("ProfileRun: %v", err)
+	}
+	// The entry block runs once.
+	if prof.Block[0] != 1 {
+		t.Errorf("entry count = %d, want 1", prof.Block[0])
+	}
+	// The loop head runs 11 times (10 iterations + exit test).
+	head := -1
+	for i, b := range g.Blocks {
+		if prof.Block[i] == 11 {
+			head = i
+			_ = b
+		}
+	}
+	if head < 0 {
+		t.Errorf("no block ran 11 times: %v", prof.Block)
+	}
+	// Then/else split must be 6/4.
+	counts := map[int64]int{}
+	for _, c := range prof.Block {
+		counts[c]++
+	}
+	if counts[6] == 0 || counts[4] == 0 {
+		t.Errorf("then/else counts not 6/4: %v", prof.Block)
+	}
+	// Hottest block ordering is descending.
+	hot := prof.HottestBlocks()
+	for i := 1; i < len(hot); i++ {
+		if prof.Block[hot[i-1]] < prof.Block[hot[i]] {
+			t.Fatal("HottestBlocks not sorted")
+		}
+	}
+}
+
+func TestProfileRunStepLimit(t *testing.T) {
+	f := ir.MustParse("func spin {\nentry:\n\tbr entry\n}")
+	g, err := Build(f)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := ProfileRun(g, ir.NewState(), 10); err != ir.ErrStepLimit {
+		t.Fatalf("err = %v, want step limit", err)
+	}
+}

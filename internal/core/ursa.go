@@ -1,0 +1,578 @@
+// Package core implements the top-level URSA algorithm (paper Figure 1):
+// measure the requirements of every resource, locate the regions with
+// excess, and repeatedly apply the reduction transformation that best
+// combines requirement reduction with minimal critical-path growth, until
+// the dependence DAG's worst-case requirements fit the target machine.
+//
+// Per §5, transformations for different resources can be applied in an
+// integrated manner (every candidate for every over-subscribed resource is
+// scored each round) or in phases (registers first, then functional units —
+// the ordering §5 argues for — or the reverse, provided for ablation).
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ursa/internal/assign"
+	"ursa/internal/dag"
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+	"ursa/internal/measure"
+	"ursa/internal/reuse"
+	"ursa/internal/sched"
+	"ursa/internal/transform"
+)
+
+// Policy selects how transformations for different resources interleave.
+type Policy uint8
+
+// Policies.
+const (
+	// Integrated scores all candidates for all over-limit resources
+	// together every round (§5's integrated application).
+	Integrated Policy = iota
+	// RegistersFirst reduces register excess to fit, then functional
+	// units: the phase ordering §5 recommends.
+	RegistersFirst
+	// FUsFirst reduces functional-unit excess first; provided for the
+	// transformation-ordering ablation.
+	FUsFirst
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Integrated:
+		return "integrated"
+	case RegistersFirst:
+		return "registers-first"
+	case FUsFirst:
+		return "fus-first"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Options configures a URSA run.
+type Options struct {
+	Machine *machine.Config
+	Policy  Policy
+	// MaxIters bounds the transformation loop; 0 means 8·N+16 where N is
+	// the node count. Residual excess after the bound is left for the
+	// assignment phase, as §2 allows.
+	MaxIters int
+	// Trace, when non-nil, receives a line per measurement and applied
+	// transformation.
+	Trace io.Writer
+	// DisableSpills restricts reduction to sequencing transformations
+	// (for the spill-vs-sequence ablation).
+	DisableSpills bool
+	// DisableSequencing restricts register reduction to spills.
+	DisableSequencing bool
+}
+
+// A Resource pairs a reuse-structure builder with its machine limit.
+type Resource struct {
+	Name       string
+	Limit      int
+	IsRegister bool
+	Class      ir.Class // register class, when IsRegister
+	Build      func(g *dag.Graph) *reuse.Reuse
+}
+
+// Resources derives the resource list for a graph on a machine: one
+// functional-unit resource per FU class (a single one for homogeneous
+// machines) and one register resource per register class used by the code.
+func Resources(g *dag.Graph, m *machine.Config) []Resource {
+	var rs []Resource
+	if m.Homogeneous {
+		rs = append(rs, Resource{
+			Name:  "fu",
+			Limit: m.Units[machine.ANY],
+			Build: func(g *dag.Graph) *reuse.Reuse { return reuse.FU(g, reuse.AllFUs) },
+		})
+	} else {
+		for _, cl := range m.FUClasses() {
+			kinds := m.KindsOf(cl)
+			member := func(n *dag.Node) bool {
+				for _, k := range kinds {
+					if n.Instr.Kind() == k {
+						return true
+					}
+				}
+				return false
+			}
+			rs = append(rs, Resource{
+				Name:  "fu." + cl.String(),
+				Limit: m.Units[cl],
+				Build: func(g *dag.Graph) *reuse.Reuse { return reuse.FU(g, member) },
+			})
+		}
+	}
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		c := c
+		if !classUsed(g, c) {
+			continue
+		}
+		rs = append(rs, Resource{
+			Name:       "reg." + c.String(),
+			Limit:      m.Regs[c],
+			IsRegister: true,
+			Class:      c,
+			Build:      func(g *dag.Graph) *reuse.Reuse { return reuse.Reg(g, c) },
+		})
+	}
+	return rs
+}
+
+func classUsed(g *dag.Graph, c ir.Class) bool {
+	for _, n := range g.Nodes {
+		if n.Instr == nil {
+			continue
+		}
+		if n.Instr.Dst != ir.NoReg && g.Func.ClassOf(n.Instr.Dst) == c {
+			return true
+		}
+		for _, u := range n.Instr.Uses() {
+			if g.Func.ClassOf(u) == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Applied records one committed transformation.
+type Applied struct {
+	Resource string
+	Kind     transform.Kind
+	Note     string
+	// Excess totals (sum over resources of width minus limit, clamped at
+	// zero) before and after the application.
+	ExcessBefore, ExcessAfter int
+}
+
+// Report summarizes a URSA run.
+type Report struct {
+	Machine       string
+	Policy        Policy
+	Iterations    int
+	Applied       []Applied
+	InitialWidths map[string]int
+	FinalWidths   map[string]int
+	Limits        map[string]int
+	// Fits is true when every final width is within its limit; when false
+	// the assignment phase must absorb the residue (§2).
+	Fits bool
+	// ScheduleClean is true when the chosen option's emitted schedule
+	// needed no assignment-phase spill patching — the operational goal
+	// even when the worst-case widths (Fits) still exceed the machine.
+	ScheduleClean bool
+	// CritBefore/CritAfter are critical-path lengths under the machine's
+	// latencies.
+	CritBefore, CritAfter int
+	SpillsInserted        int
+}
+
+// TotalExcess sums the over-limit amounts of the final widths.
+func (r *Report) TotalExcess() int {
+	total := 0
+	for name, w := range r.FinalWidths {
+		if d := w - r.Limits[name]; d > 0 {
+			total += d
+		}
+	}
+	return total
+}
+
+// Run executes URSA's allocation phase on the graph, mutating it, and
+// returns the report. The graph afterwards encodes, through its added
+// sequence edges and spill code, a program whose worst-case resource
+// demands (usually) fit the machine; assignment and code generation follow.
+//
+// The transformation-selection heuristic is greedy, so a first attempt can
+// occasionally strand itself with residual excess; Run then retries from
+// the untransformed graph with the spill-first tie-break and keeps the
+// better outcome, before leaving any remaining excess to the assignment
+// phase (§2).
+func Run(g *dag.Graph, opts Options) (*Report, error) {
+	m := opts.Machine
+	if m == nil {
+		return nil, fmt.Errorf("core: no machine configured")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	styles := []scoreStyle{styleDefault, styleAggressive}
+	if !opts.DisableSpills {
+		styles = append(styles, styleSpillFirst)
+	}
+	var bestG *dag.Graph
+	var bestRep *Report
+	bestCost := -1
+	consider := func(cl *dag.Graph, rep *Report) {
+		cost := emittedCost(cl, m)
+		if bestRep == nil || cost < bestCost ||
+			(cost == bestCost && rep.Fits && !bestRep.Fits) {
+			bestG, bestRep, bestCost = cl, rep, cost
+		}
+	}
+	// §1: "The allocation option that has the best overall effect can then
+	// be selected." The untransformed DAG is itself an option: when the
+	// list scheduler's own choice of schedule stays within the registers,
+	// the worst-case excess never materializes and transformation would
+	// only lengthen the schedule.
+	{
+		cl := g.Clone()
+		base := opts
+		base.MaxIters = -1
+		rep, err := runOnce(cl, base, styleDefault)
+		if err != nil {
+			return nil, err
+		}
+		consider(cl, rep)
+	}
+	for _, style := range styles {
+		cl := g.Clone()
+		rep, err := runOnce(cl, opts, style)
+		if err != nil {
+			return nil, err
+		}
+		consider(cl, rep)
+		if bestRep.Fits {
+			break
+		}
+	}
+	g.ReplaceWith(bestG)
+	bestRep.ScheduleClean = bestCost&(1<<12-1) == 0
+	return bestRep, nil
+}
+
+// emittedCost scores an allocation outcome by its overall effect: primarily
+// the length of the schedule the assignment phase would emit, then the
+// number of assignment-phase spill stores (memory traffic), encoded
+// lexicographically.
+func emittedCost(g *dag.Graph, m *machine.Config) int {
+	prog, _, err := assign.Emit(g, m, sched.Options{})
+	if err != nil {
+		return 1 << 30
+	}
+	return len(prog.Words)<<12 | min(prog.Spills, 1<<12-1)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// scoreStyle selects the tie-breaking order used when comparing candidate
+// transformations of equal excess reduction.
+type scoreStyle uint8
+
+const (
+	// styleDefault: minimal critical-path growth, then the §5 kind order
+	// (sequencing before spilling).
+	styleDefault scoreStyle = iota
+	// styleAggressive: the largest move (most sequence edges) first —
+	// escapes states where the locally-cheapest move strands the search.
+	styleAggressive
+	// styleSpillFirst: spills before sequencing at equal excess.
+	styleSpillFirst
+)
+
+func runOnce(g *dag.Graph, opts Options, style scoreStyle) (*Report, error) {
+	m := opts.Machine
+	resources := Resources(g, m)
+	maxIters := opts.MaxIters
+	switch {
+	case maxIters < 0:
+		maxIters = 0 // measurement-only run (the untransformed baseline)
+	case maxIters == 0:
+		maxIters = 8*len(g.Nodes) + 16
+	}
+	lat := func(n *dag.Node) int { return m.LatencyOf(n.Instr.Op) }
+
+	rep := &Report{
+		Machine:       m.Name,
+		Policy:        opts.Policy,
+		InitialWidths: map[string]int{},
+		FinalWidths:   map[string]int{},
+		Limits:        map[string]int{},
+	}
+	rep.CritBefore, _ = g.CriticalPath(lat)
+	for _, r := range resources {
+		rep.Limits[r.Name] = r.Limit
+	}
+
+	widths := func(gr *dag.Graph) (map[string]*measure.Result, int) {
+		out := make(map[string]*measure.Result, len(resources))
+		excess := 0
+		for _, r := range resources {
+			res := measure.Measure(r.Build(gr))
+			out[r.Name] = res
+			if d := res.Width - r.Limit; d > 0 {
+				excess += d
+			}
+		}
+		return out, excess
+	}
+
+	results, excess := widths(g)
+	for name, res := range results {
+		rep.InitialWidths[name] = res.Width
+	}
+	tracef(opts.Trace, "ursa: %s initial widths %v excess %d", m.Name, rep.InitialWidths, excess)
+
+	// phases returns the resource groups to attack in order under the
+	// configured policy.
+	phases := func() [][]Resource {
+		switch opts.Policy {
+		case RegistersFirst:
+			return [][]Resource{filterRes(resources, true), filterRes(resources, false)}
+		case FUsFirst:
+			return [][]Resource{filterRes(resources, false), filterRes(resources, true)}
+		default:
+			return [][]Resource{resources}
+		}
+	}()
+
+	for _, phase := range phases {
+		// Plateau moves: when no candidate strictly reduces total excess, a
+		// bounded number of excess-preserving transformations may still be
+		// committed — the paper notes a single application often cannot
+		// remove all excess, and the follow-up candidates only appear on
+		// the transformed DAG.
+		plateau := 4
+		for rep.Iterations < maxIters && excess > 0 {
+			cands := collectCandidates(g, phase, results, opts)
+			if len(cands) == 0 {
+				break
+			}
+			best, bestExcess, improved := pickBest(g, cands, widths, excess, lat, style)
+			if !improved {
+				if plateau == 0 {
+					break
+				}
+				best, bestExcess, improved = pickPlateau(g, cands, widths, excess, lat)
+				if !improved {
+					break
+				}
+				plateau--
+			}
+			if err := best.cand.Apply(g); err != nil {
+				// The clone applied cleanly, so the real graph must too.
+				return nil, fmt.Errorf("core: committing %s: %v", best.cand, err)
+			}
+			rep.Iterations++
+			if best.cand.Kind == transform.Spill {
+				rep.SpillsInserted++
+			}
+			rep.Applied = append(rep.Applied, Applied{
+				Resource:     best.resource,
+				Kind:         best.cand.Kind,
+				Note:         best.cand.Note,
+				ExcessBefore: excess,
+				ExcessAfter:  bestExcess,
+			})
+			tracef(opts.Trace, "ursa: applied %s (%s): excess %d -> %d",
+				best.cand.Kind, best.cand.Note, excess, bestExcess)
+			results, excess = widths(g)
+		}
+	}
+
+	for name, res := range results {
+		rep.FinalWidths[name] = res.Width
+	}
+	rep.Fits = rep.TotalExcess() == 0
+	rep.CritAfter, _ = g.CriticalPath(lat)
+	tracef(opts.Trace, "ursa: final widths %v fits=%v crit %d -> %d",
+		rep.FinalWidths, rep.Fits, rep.CritBefore, rep.CritAfter)
+	return rep, nil
+}
+
+func filterRes(rs []Resource, registers bool) []Resource {
+	var out []Resource
+	for _, r := range rs {
+		if r.IsRegister == registers {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+type scored struct {
+	cand     *transform.Candidate
+	resource string
+}
+
+// collectCandidates generates reduction candidates for every over-limit
+// resource in the group, using the innermost and outermost excessive sets.
+func collectCandidates(g *dag.Graph, group []Resource, results map[string]*measure.Result, opts Options) []scored {
+	hammocks := g.Hammocks()
+	var out []scored
+	for _, r := range group {
+		res := results[r.Name]
+		if res == nil || res.Width <= r.Limit {
+			continue
+		}
+		sets := measure.FindExcess(res, hammocks, r.Limit)
+		if len(sets) == 0 {
+			continue
+		}
+		targets := []*measure.ExcessSet{sets[0]}
+		if len(sets) > 1 {
+			targets = append(targets, sets[len(sets)-1])
+		}
+		for _, set := range targets {
+			if r.IsRegister {
+				if !opts.DisableSequencing {
+					for _, c := range transform.RegSeqCandidates(g, res, set) {
+						out = append(out, scored{c, r.Name})
+					}
+				}
+				if !opts.DisableSpills {
+					for _, c := range transform.SpillCandidates(g, res, set) {
+						out = append(out, scored{c, r.Name})
+					}
+				}
+			} else {
+				for _, c := range transform.FUCandidates(g, res, set) {
+					out = append(out, scored{c, r.Name})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pickBest tentatively applies every candidate to a clone, re-measures, and
+// returns the candidate minimizing (total excess, critical path, kind rank).
+// improved is false when no candidate strictly reduces total excess.
+func pickBest(g *dag.Graph, cands []scored,
+	widths func(*dag.Graph) (map[string]*measure.Result, int),
+	curExcess int, lat func(*dag.Node) int, style scoreStyle) (scored, int, bool) {
+
+	type outcome struct {
+		s      scored
+		excess int
+		crit   int
+		rank   int
+		size   int // number of edges the move adds
+	}
+	kindRank := map[transform.Kind]int{
+		transform.RegSequence: 0,
+		transform.FUSequence:  1,
+		// §5: at equal impact sequencing beats spilling — no extra memory
+		// traffic. styleSpillFirst flips this.
+		transform.Spill: 2,
+	}
+	if style == styleSpillFirst {
+		kindRank = map[transform.Kind]int{
+			transform.Spill:       0,
+			transform.RegSequence: 1,
+			transform.FUSequence:  2,
+		}
+	}
+	var outs []outcome
+	for _, s := range cands {
+		cl := g.Clone()
+		if err := s.cand.Apply(cl); err != nil {
+			continue
+		}
+		_, ex := widths(cl)
+		crit, _ := cl.CriticalPath(lat)
+		outs = append(outs, outcome{s, ex, crit, kindRank[s.cand.Kind], len(s.cand.Edges)})
+	}
+	if len(outs) == 0 {
+		return scored{}, curExcess, false
+	}
+	sort.Slice(outs, func(i, j int) bool {
+		if outs[i].excess != outs[j].excess {
+			return outs[i].excess < outs[j].excess
+		}
+		switch style {
+		case styleAggressive:
+			if outs[i].size != outs[j].size {
+				return outs[i].size > outs[j].size
+			}
+			if outs[i].crit != outs[j].crit {
+				return outs[i].crit < outs[j].crit
+			}
+		case styleSpillFirst:
+			if outs[i].rank != outs[j].rank {
+				return outs[i].rank < outs[j].rank
+			}
+			if outs[i].crit != outs[j].crit {
+				return outs[i].crit < outs[j].crit
+			}
+		default:
+			if outs[i].crit != outs[j].crit {
+				return outs[i].crit < outs[j].crit
+			}
+		}
+		if outs[i].rank != outs[j].rank {
+			return outs[i].rank < outs[j].rank
+		}
+		return outs[i].s.cand.Note < outs[j].s.cand.Note
+	})
+	best := outs[0]
+	if best.excess >= curExcess {
+		return scored{}, curExcess, false
+	}
+	return best.s, best.excess, true
+}
+
+// pickPlateau returns the best candidate whose total excess equals the
+// current one (an excess-preserving move), preferring spills — they change
+// the DAG's value structure and open reductions sequencing cannot reach.
+func pickPlateau(g *dag.Graph, cands []scored,
+	widths func(*dag.Graph) (map[string]*measure.Result, int),
+	curExcess int, lat func(*dag.Node) int) (scored, int, bool) {
+
+	type outcome struct {
+		s      scored
+		excess int
+		crit   int
+	}
+	var outs []outcome
+	for _, s := range cands {
+		if s.cand.Kind != transform.Spill {
+			// Sequencing-only plateau moves just narrow the DAG without
+			// changing its value structure; restrict plateaus to spills.
+			continue
+		}
+		cl := g.Clone()
+		if err := s.cand.Apply(cl); err != nil {
+			continue
+		}
+		_, ex := widths(cl)
+		if ex > curExcess {
+			continue
+		}
+		crit, _ := cl.CriticalPath(lat)
+		outs = append(outs, outcome{s, ex, crit})
+	}
+	if len(outs) == 0 {
+		return scored{}, curExcess, false
+	}
+	sort.Slice(outs, func(i, j int) bool {
+		if outs[i].excess != outs[j].excess {
+			return outs[i].excess < outs[j].excess
+		}
+		if outs[i].crit != outs[j].crit {
+			return outs[i].crit < outs[j].crit
+		}
+		return outs[i].s.cand.Note < outs[j].s.cand.Note
+	})
+	best := outs[0]
+	return best.s, best.excess, true
+}
+
+func tracef(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}

@@ -1,0 +1,292 @@
+// Package dag implements the dependence DAG that URSA uses to represent a
+// region of straight-line code (a basic block or trace) while measuring and
+// transforming its resource requirements (paper §2).
+//
+// The graph has a single pseudo root and a single pseudo leaf representing
+// entry to and exit from the region, so the whole graph is a hammock. Edges
+// are data dependences, memory-ordering dependences, or sequentialization
+// edges (added by the trace scheduler or by URSA's transformations). All
+// three edge kinds constrain scheduling identically; the distinction is kept
+// for reporting and for DOT output.
+package dag
+
+import (
+	"fmt"
+
+	"ursa/internal/ir"
+	"ursa/internal/order"
+)
+
+// EdgeKind distinguishes why an edge exists.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	EdgeData EdgeKind = iota // true data dependence (def -> use)
+	EdgeMem                  // memory ordering (store/load conflicts)
+	EdgeSeq                  // sequentialization added by trace layout or URSA
+)
+
+// String returns the kind's name.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeData:
+		return "data"
+	case EdgeMem:
+		return "mem"
+	case EdgeSeq:
+		return "seq"
+	}
+	return fmt.Sprintf("edgekind(%d)", uint8(k))
+}
+
+// Node is a DAG node: one instruction, or the pseudo root/leaf.
+type Node struct {
+	ID    int
+	Instr *ir.Instr // nil for pseudo nodes
+	// Name is a display label; for pseudo nodes "root"/"leaf", otherwise
+	// derived from the instruction.
+	Name string
+}
+
+// IsPseudo reports whether the node is the root or leaf marker.
+func (n *Node) IsPseudo() bool { return n.Instr == nil }
+
+// Graph is the dependence DAG.
+type Graph struct {
+	Func  *ir.Func
+	Nodes []*Node
+	Root  int // pseudo entry node id
+	Leaf  int // pseudo exit node id
+
+	succ  [][]int
+	pred  [][]int
+	kinds map[[2]int]EdgeKind
+
+	// LiveOut lists the registers whose values must survive the region:
+	// their lifetimes extend to the leaf. Defaults to every register defined
+	// but never used inside the region; Build callers may extend it.
+	LiveOut map[ir.VReg]bool
+}
+
+// New returns a graph containing only the pseudo root and leaf, with no edge
+// between them.
+func New(f *ir.Func) *Graph {
+	g := &Graph{
+		Func:    f,
+		kinds:   make(map[[2]int]EdgeKind),
+		LiveOut: make(map[ir.VReg]bool),
+	}
+	g.Root = g.addNode(nil, "root")
+	g.Leaf = g.addNode(nil, "leaf")
+	return g
+}
+
+func (g *Graph) addNode(in *ir.Instr, name string) int {
+	id := len(g.Nodes)
+	g.Nodes = append(g.Nodes, &Node{ID: id, Instr: in, Name: name})
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// AddInstr appends a new node for the instruction and returns its id. The
+// caller is responsible for wiring edges.
+func (g *Graph) AddInstr(in *ir.Instr) int {
+	name := fmt.Sprintf("n%d", len(g.Nodes))
+	if in != nil {
+		if in.Dst != ir.NoReg {
+			name = g.Func.NameOf(in.Dst)
+		} else {
+			name = fmt.Sprintf("%s%d", in.Op, len(g.Nodes))
+		}
+	}
+	return g.addNode(in, name)
+}
+
+// NumNodes returns the node count, including the two pseudo nodes.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// Succs returns the successor ids of n. Callers must not mutate the result.
+func (g *Graph) Succs(n int) []int { return g.succ[n] }
+
+// Preds returns the predecessor ids of n. Callers must not mutate the result.
+func (g *Graph) Preds(n int) []int { return g.pred[n] }
+
+// HasEdge reports whether the edge (a, b) exists.
+func (g *Graph) HasEdge(a, b int) bool {
+	_, ok := g.kinds[[2]int{a, b}]
+	return ok
+}
+
+// EdgeKindOf returns the kind of edge (a, b); ok is false if absent.
+func (g *Graph) EdgeKindOf(a, b int) (EdgeKind, bool) {
+	k, ok := g.kinds[[2]int{a, b}]
+	return k, ok
+}
+
+// AddEdge inserts the edge (a, b) of the given kind. Duplicate insertions
+// keep the first kind. Adding an edge that would create a cycle is the
+// caller's responsibility to avoid (see Reaches).
+func (g *Graph) AddEdge(a, b int, kind EdgeKind) {
+	key := [2]int{a, b}
+	if _, dup := g.kinds[key]; dup {
+		return
+	}
+	g.kinds[key] = kind
+	g.succ[a] = append(g.succ[a], b)
+	g.pred[b] = append(g.pred[b], a)
+}
+
+// RemoveEdge deletes the edge (a, b) if present.
+func (g *Graph) RemoveEdge(a, b int) {
+	key := [2]int{a, b}
+	if _, ok := g.kinds[key]; !ok {
+		return
+	}
+	delete(g.kinds, key)
+	g.succ[a] = removeFrom(g.succ[a], b)
+	g.pred[b] = removeFrom(g.pred[b], a)
+}
+
+func removeFrom(s []int, x int) []int {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Edges returns all edges. The order is unspecified.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, len(g.kinds))
+	for e := range g.kinds {
+		out = append(out, e)
+	}
+	return out
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.kinds) }
+
+// InstrNodes returns the ids of all non-pseudo nodes in id order.
+func (g *Graph) InstrNodes() []int {
+	out := make([]int, 0, len(g.Nodes)-2)
+	for _, n := range g.Nodes {
+		if !n.IsPseudo() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the graph structure. Instructions are cloned too, so
+// transformations on the copy cannot disturb the original.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Func:    g.Func,
+		Root:    g.Root,
+		Leaf:    g.Leaf,
+		kinds:   make(map[[2]int]EdgeKind, len(g.kinds)),
+		LiveOut: make(map[ir.VReg]bool, len(g.LiveOut)),
+	}
+	c.Nodes = make([]*Node, len(g.Nodes))
+	c.succ = make([][]int, len(g.succ))
+	c.pred = make([][]int, len(g.pred))
+	for i, n := range g.Nodes {
+		cn := &Node{ID: n.ID, Name: n.Name}
+		if n.Instr != nil {
+			cn.Instr = n.Instr.Clone()
+		}
+		c.Nodes[i] = cn
+		c.succ[i] = append([]int(nil), g.succ[i]...)
+		c.pred[i] = append([]int(nil), g.pred[i]...)
+	}
+	for k, v := range g.kinds {
+		c.kinds[k] = v
+	}
+	for k, v := range g.LiveOut {
+		c.LiveOut[k] = v
+	}
+	return c
+}
+
+// DefNode returns the id of the node defining register v, or -1.
+func (g *Graph) DefNode(v ir.VReg) int {
+	for _, n := range g.Nodes {
+		if n.Instr != nil && n.Instr.Dst == v {
+			return n.ID
+		}
+	}
+	return -1
+}
+
+// UseNodes returns the ids of nodes that read register v, in id order.
+func (g *Graph) UseNodes(v ir.VReg) []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if n.Instr == nil {
+			continue
+		}
+		for _, u := range n.Instr.Uses() {
+			if u == v {
+				out = append(out, n.ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Check validates structural invariants: acyclicity, single root/leaf
+// connectivity (every node reachable from root and reaching leaf), and
+// adjacency/kind consistency.
+func (g *Graph) Check() error {
+	for key := range g.kinds {
+		if key[0] < 0 || key[0] >= len(g.Nodes) || key[1] < 0 || key[1] >= len(g.Nodes) {
+			return fmt.Errorf("dag: edge %v out of range", key)
+		}
+	}
+	rel := g.Relation()
+	if !rel.IsAcyclic() {
+		return fmt.Errorf("dag: graph has a cycle")
+	}
+	reach := rel.TransitiveClosure()
+	for _, n := range g.Nodes {
+		if n.ID == g.Root || n.ID == g.Leaf {
+			continue
+		}
+		if !reach.Has(g.Root, n.ID) {
+			return fmt.Errorf("dag: node %d (%s) unreachable from root", n.ID, n.Name)
+		}
+		if !reach.Has(n.ID, g.Leaf) {
+			return fmt.Errorf("dag: node %d (%s) does not reach leaf", n.ID, n.Name)
+		}
+	}
+	for a, ss := range g.succ {
+		for _, b := range ss {
+			if _, ok := g.kinds[[2]int{a, b}]; !ok {
+				return fmt.Errorf("dag: adjacency edge (%d,%d) missing kind", a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// Relation returns the edge set as an order.Relation over node ids.
+func (g *Graph) Relation() *order.Relation {
+	r := order.NewRelation(len(g.Nodes))
+	for e := range g.kinds {
+		r.Add(e[0], e[1])
+	}
+	return r
+}
+
+// ReplaceWith overwrites this graph's contents with another's (a shallow
+// structural replacement; the other graph must not be used afterwards).
+// The URSA driver uses this to commit the best of several transformation
+// attempts back into the caller's graph.
+func (g *Graph) ReplaceWith(o *Graph) {
+	*g = *o
+}

@@ -1,0 +1,109 @@
+// Package experiments implements the reproduction harness: one function per
+// figure of the paper and per constructed evaluation table (see DESIGN.md's
+// experiment index). Each experiment regenerates its table from scratch;
+// cmd/ursabench prints them all and the module-root benchmarks wrap them as
+// testing.B targets. EXPERIMENTS.md records the outputs against the paper's
+// claims.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated result table.
+type Table struct {
+	ID    string
+	Title string
+	// Claim cites what the paper states; Finding summarizes what we
+	// measured.
+	Claim   string
+	Finding string
+	Header  []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&sb, "paper: %s\n", t.Claim)
+	}
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Finding != "" {
+		fmt.Fprintf(&sb, "measured: %s\n", t.Finding)
+	}
+	return sb.String()
+}
+
+// Experiment pairs an id with its runner.
+type Experiment struct {
+	ID  string
+	Run func() (*Table, error)
+}
+
+// All lists every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"F2", F2Measurement},
+		{"F3", F3Transformations},
+		{"F1", F1Convergence},
+		{"T1", T1PhaseOrdering},
+		{"T2", T2RegisterSweep},
+		{"T3", T3FUSweep},
+		{"T4", T4MeasurementScaling},
+		{"T5", T5TransformOrdering},
+		{"T6", T6SpillVsSequence},
+		{"T7", T7SoftwarePipelining},
+		{"T8", T8ResourceClasses},
+		{"T9", T9TraceScheduling},
+		{"T10", T10PipelinedUnits},
+		{"T11", T11OptimizerAblation},
+		{"T12", T12SuperscalarInOrder},
+		{"T13", T13PrioritizedMatching},
+	}
+}
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func ftoa(v float64) string { return fmt.Sprintf("%.2f", v) }

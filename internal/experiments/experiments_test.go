@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFiguresExact asserts the paper-figure reproductions match exactly;
+// these are the headline numbers and must never drift.
+func TestFiguresExact(t *testing.T) {
+	for _, id := range []string{"F2", "F3"} {
+		e := ByID(id)
+		tbl, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(tbl.Finding, "match=true") {
+			t.Errorf("%s: %s", id, tbl.Finding)
+		}
+	}
+}
+
+func TestConvergenceTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: convergence sweep")
+	}
+	tbl, err := F1Convergence()
+	if err != nil {
+		t.Fatalf("F1: %v", err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+// TestEvaluationTables runs every constructed table; in -short mode only
+// the quick ones.
+func TestEvaluationTables(t *testing.T) {
+	quick := map[string]bool{"T4": true, "T6": true}
+	for _, e := range All() {
+		if e.ID == "F2" || e.ID == "F3" || e.ID == "F1" {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && !quick[e.ID] {
+				t.Skip("long experiment")
+			}
+			tbl, err := e.Run()
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Error("empty table")
+			}
+			if !strings.Contains(tbl.String(), tbl.ID) {
+				t.Error("render missing id")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("T1") == nil || ByID("nope") != nil {
+		t.Error("ByID lookup broken")
+	}
+}

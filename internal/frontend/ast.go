@@ -1,0 +1,149 @@
+package frontend
+
+import "fmt"
+
+// Type is a scalar type.
+type Type uint8
+
+// Types.
+const (
+	TypeInt Type = iota
+	TypeFloat
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	if t == TypeFloat {
+		return "float"
+	}
+	return "int"
+}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Pos() int
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Line  int
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Value float64
+	Line  int
+}
+
+// VarRef reads a scalar variable.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// IndexRef reads an array element: Name[Index].
+type IndexRef struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// Unary is -x.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary is x OP y for + - * / % < <= > >= == != && ||.
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+func (e *IntLit) exprNode()   {}
+func (e *FloatLit) exprNode() {}
+func (e *VarRef) exprNode()   {}
+func (e *IndexRef) exprNode() {}
+func (e *Unary) exprNode()    {}
+func (e *Binary) exprNode()   {}
+
+// Pos returns the source line.
+func (e *IntLit) Pos() int   { return e.Line }
+func (e *FloatLit) Pos() int { return e.Line }
+func (e *VarRef) Pos() int   { return e.Line }
+func (e *IndexRef) Pos() int { return e.Line }
+func (e *Unary) Pos() int    { return e.Line }
+func (e *Binary) Pos() int   { return e.Line }
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+}
+
+// VarDecl declares and initializes a scalar: var x = expr;
+type VarDecl struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// TypeDecl pins the type of a scalar (`float x;`) or an array
+// (`float a[];`) ahead of inference. Arrays of floats need this: element
+// types cannot be inferred from raw memory bits.
+type TypeDecl struct {
+	Name    string
+	Type    Type
+	IsArray bool
+	Line    int
+}
+
+// Assign stores into a scalar or array element.
+type Assign struct {
+	Name  string
+	Index Expr // nil for scalars
+	Value Expr
+	Line  int
+}
+
+// If is a conditional with optional else.
+type If struct {
+	Cond       Expr
+	Then, Else []Stmt
+	Line       int
+}
+
+// While is a pre-tested loop.
+type While struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// For is `for i = lo to hi { ... }`: i runs lo, lo+1, ..., hi-1.
+type For struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+	Line   int
+}
+
+func (s *VarDecl) stmtNode()  {}
+func (s *TypeDecl) stmtNode() {}
+func (s *Assign) stmtNode()   {}
+func (s *If) stmtNode()       {}
+func (s *While) stmtNode()    {}
+func (s *For) stmtNode()      {}
+
+// Program is a parsed kernel: a name and a statement list.
+type Program struct {
+	Name  string
+	Stmts []Stmt
+}
+
+func errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("frontend: line %d: %s", line, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,282 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"ursa/internal/ir"
+)
+
+func run(t *testing.T, u *Unit, init *ir.State) *ir.State {
+	t.Helper()
+	st := init.Clone()
+	if _, err := st.Run(u.Func, 1_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return st
+}
+
+func scalar(st *ir.State, name string) ir.Word { return st.Mem[ScalarAddr(name)] }
+
+func TestLowerStraightLine(t *testing.T) {
+	u := MustCompile(`
+		var a = 6;
+		var b = 7;
+		var c = a * b + 1;
+		out[0] = c;
+	`)
+	st := run(t, u, ir.NewState())
+	if got := st.Mem[ir.Addr{Sym: "out", Off: 0}].Int(); got != 43 {
+		t.Errorf("out[0] = %d, want 43", got)
+	}
+	if u.Vars["c"] != TypeInt {
+		t.Errorf("type of c = %v", u.Vars["c"])
+	}
+}
+
+func TestLowerFloatInference(t *testing.T) {
+	u := MustCompile(`
+		var x = 1.5;
+		var y = x * 2.0 + 1;
+		fo[0] = y;
+	`)
+	if u.Vars["y"] != TypeFloat {
+		t.Fatalf("y inferred %v, want float", u.Vars["y"])
+	}
+	if u.Arrays["fo"] != TypeFloat {
+		t.Fatalf("fo inferred %v, want float", u.Arrays["fo"])
+	}
+	st := run(t, u, ir.NewState())
+	if got := st.Mem[ir.Addr{Sym: "fo", Off: 0}].Float(); got != 4.0 {
+		t.Errorf("fo[0] = %g, want 4.0", got)
+	}
+}
+
+func TestLowerIfElse(t *testing.T) {
+	u := MustCompile(`
+		var x = in[0];
+		var r = 0;
+		if (x > 10) { r = 1; } else { r = 2; }
+		out[0] = r;
+	`)
+	init := ir.NewState()
+	init.StoreInt("in", 0, 50)
+	if got := run(t, u, init).Mem[ir.Addr{Sym: "out", Off: 0}].Int(); got != 1 {
+		t.Errorf("x=50: out = %d, want 1", got)
+	}
+	init.StoreInt("in", 0, 3)
+	if got := run(t, u, init).Mem[ir.Addr{Sym: "out", Off: 0}].Int(); got != 2 {
+		t.Errorf("x=3: out = %d, want 2", got)
+	}
+}
+
+func TestLowerWhile(t *testing.T) {
+	u := MustCompile(`
+		var n = 10;
+		var s = 0;
+		var i = 0;
+		while (i < n) { s = s + i; i = i + 1; }
+		out[0] = s;
+	`)
+	if got := run(t, u, ir.NewState()).Mem[ir.Addr{Sym: "out", Off: 0}].Int(); got != 45 {
+		t.Errorf("out = %d, want 45", got)
+	}
+}
+
+func TestLowerForDotProduct(t *testing.T) {
+	src := `
+	func dot {
+		float a[]; float b[];
+		var sum = 0.0;
+		for i = 0 to 8 { sum = sum + a[i] * b[i]; }
+		out[0] = sum;
+	}
+	`
+	u, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if u.Func.Name != "dot" {
+		t.Errorf("name = %s", u.Func.Name)
+	}
+	init := ir.NewState()
+	want := 0.0
+	for i := int64(0); i < 8; i++ {
+		init.StoreFloat("a", i, float64(i))
+		init.StoreFloat("b", i, 2.0)
+		want += float64(i) * 2.0
+	}
+	st := run(t, u, init)
+	if got := st.Mem[ir.Addr{Sym: "out", Off: 0}].Float(); got != want {
+		t.Errorf("dot = %g, want %g", got, want)
+	}
+}
+
+func TestUnrollPreservesSemantics(t *testing.T) {
+	src := `
+		var s = 0;
+		for i = 0 to 12 { s = s + c[i] * c[i]; }
+		out[0] = s;
+	`
+	init := ir.NewState()
+	for i := int64(0); i < 12; i++ {
+		init.StoreInt("c", i, i+1)
+	}
+	var want ir.Word
+	for _, unroll := range []int{0, 1, 2, 3, 4, 6} {
+		u, err := Compile(src, Options{Unroll: unroll})
+		if err != nil {
+			t.Fatalf("unroll %d: %v", unroll, err)
+		}
+		got := run(t, u, init).Mem[ir.Addr{Sym: "out", Off: 0}]
+		if unroll == 0 {
+			want = got
+		} else if got != want {
+			t.Errorf("unroll %d: out = %d, want %d", unroll, got.Int(), want.Int())
+		}
+	}
+	// Non-dividing factor must silently not unroll but stay correct.
+	u, err := Compile(src, Options{Unroll: 5})
+	if err != nil {
+		t.Fatalf("unroll 5: %v", err)
+	}
+	if got := run(t, u, init).Mem[ir.Addr{Sym: "out", Off: 0}]; got != want {
+		t.Errorf("unroll 5: out = %d, want %d", got.Int(), want.Int())
+	}
+}
+
+func TestUnrollGrowsBlock(t *testing.T) {
+	src := `for i = 0 to 8 { o[i] = a[i] + 1; }`
+	u1, _ := Compile(src, Options{})
+	u4, _ := Compile(src, Options{Unroll: 4})
+	body := func(u *Unit) int {
+		max := 0
+		for _, b := range u.Func.Blocks {
+			if len(b.Instrs) > max {
+				max = len(b.Instrs)
+			}
+		}
+		return max
+	}
+	if body(u4) <= body(u1) {
+		t.Errorf("unrolled body %d not larger than rolled %d", body(u4), body(u1))
+	}
+}
+
+func TestBlocksAreClosed(t *testing.T) {
+	// Every lowered block must be a closed region: no register live-ins,
+	// single-assignment, so the allocator can treat each independently.
+	u := MustCompile(`
+		var s = 0;
+		for i = 0 to 4 {
+			if (c[i] > 0) { s = s + c[i]; } else { s = s - 1; }
+		}
+		out[0] = s;
+	`)
+	for _, b := range u.Func.Blocks {
+		if err := ir.VerifySSA(b); err != nil {
+			t.Errorf("block %s: %v", b.Label, err)
+		}
+		if ins := ir.LiveIns(b); len(ins) > 0 {
+			t.Errorf("block %s has live-ins %v", b.Label, ins)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	u := MustCompile(`
+		var x = in[0];
+		var a = x >= 3 && x <= 7;
+		var b = x == 5 || x != 5;
+		var c = -x;
+		out[0] = a;
+		out[1] = b;
+		out[2] = c;
+	`)
+	init := ir.NewState()
+	init.StoreInt("in", 0, 5)
+	st := run(t, u, init)
+	if got := st.Mem[ir.Addr{Sym: "out", Off: 0}].Int(); got != 1 {
+		t.Errorf("a = %d, want 1", got)
+	}
+	if got := st.Mem[ir.Addr{Sym: "out", Off: 1}].Int(); got != 1 {
+		t.Errorf("b = %d, want 1", got)
+	}
+	if got := st.Mem[ir.Addr{Sym: "out", Off: 2}].Int(); got != -5 {
+		t.Errorf("c = %d, want -5", got)
+	}
+}
+
+func TestIndexFolding(t *testing.T) {
+	u := MustCompile(`
+		var i = in[0];
+		out[i + 3] = 9;
+		out[2] = 7;
+	`)
+	var found bool
+	for _, b := range u.Func.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.Store && in.Sym == "out" && in.Off == 3 && in.Index != ir.NoReg {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("constant index offset not folded")
+	}
+	init := ir.NewState()
+	init.StoreInt("in", 0, 4)
+	st := run(t, u, init)
+	if got := st.Mem[ir.Addr{Sym: "out", Off: 7}].Int(); got != 9 {
+		t.Errorf("out[7] = %d, want 9", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"unterminated", "var x = ;", "unexpected"},
+		{"missing to", "for i = 0 { }", "expected 'to'"},
+		{"bad char", "var x = $;", "unexpected"},
+		{"no brace", "if (1) x = 2;", `expected "{"`},
+		{"trailing", "var x = 1; }", "unexpected"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Parse error = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	if _, err := Compile("var x = 1.5 % 2.0;", Options{}); err == nil {
+		t.Error("float %% accepted")
+	}
+	if _, err := Compile("float a[]; int a[];", Options{}); err == nil {
+		t.Error("conflicting array declarations accepted")
+	}
+	if _, err := Compile("var x = 1;\nvar y = 1.5;\nx = y;\nq[x] = 1;\nq[y] = 1;", Options{}); err == nil {
+		t.Error("float array index accepted")
+	}
+}
+
+func TestImmediatePeephole(t *testing.T) {
+	u := MustCompile("var x = in[0];\nvar y = x * 2;\nvar z = 3 + x;\nout[0] = y + z;")
+	counts := map[ir.Op]int{}
+	for _, b := range u.Func.Blocks {
+		for _, in := range b.Instrs {
+			counts[in.Op]++
+		}
+	}
+	if counts[ir.MulI] != 1 {
+		t.Errorf("muli count = %d, want 1", counts[ir.MulI])
+	}
+	if counts[ir.AddI] != 1 {
+		t.Errorf("addi count = %d (3+x should commute to addi)", counts[ir.AddI])
+	}
+	if counts[ir.ConstI] != 0 {
+		t.Errorf("const count = %d, want 0 (all literals folded)", counts[ir.ConstI])
+	}
+}

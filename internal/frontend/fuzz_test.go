@@ -1,0 +1,49 @@
+package frontend
+
+import (
+	"testing"
+
+	"ursa/internal/ir"
+)
+
+// FuzzParse checks the kernel-language pipeline never panics and that
+// everything that parses also lowers to verifiable IR. Under plain `go
+// test` only the seed corpus runs; `go test -fuzz FuzzParse` explores.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"var x = 1;",
+		"func k { var x = 1; out[0] = x; }",
+		"float a[]; var s = 0.0; for i = 0 to 8 { s = s + a[i]; } o[0] = s;",
+		"if (x > 1) { y = 2; } else { y = 3; }",
+		"while (i < 10) { i = i + 1; }",
+		"var x = -(1 + 2) * 3 % 4 / 5;",
+		"var b = x >= 3 && x <= 7 || x != 0;",
+		"out[i+3] = q[j] + 1.5;",
+		"for i = 0 to 4 { for j = 0 to 4 { m[i*4+j] = i - j; } }",
+		"var x = ((((1))));",
+		"func { }", // invalid
+		"var = ;",  // invalid
+		"for i = 0 to { }",
+		"int a[]; float a[];",
+		"# just a comment",
+		"var x = 1.5 % 2;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := Compile(src, Options{})
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := ir.Verify(u.Func); err != nil {
+			t.Fatalf("accepted program lowered to invalid IR: %v\nsource: %q", err, src)
+		}
+		for _, b := range u.Func.Blocks {
+			if err := ir.VerifySSA(b); err != nil {
+				t.Fatalf("lowered block not SSA: %v\nsource: %q", err, src)
+			}
+		}
+	})
+}

@@ -1,0 +1,121 @@
+// Package frontend implements a small imperative kernel language and its
+// lowering to the three-address IR: the stand-in for the "existing C
+// compiler front end" the paper's implementation reused (§6). Programs are
+// sequences of scalar and array assignments with if/while/for control flow;
+// scalars that cross basic-block boundaries are kept in memory so every
+// lowered block is closed (inputs arrive via loads), matching the
+// block/trace scope of the allocator.
+package frontend
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tFloat
+	tPunct // single or double rune punctuation: + - * / % ( ) [ ] { } = ; , < > <= >= == != && ||
+	tKeyword
+)
+
+var keywords = map[string]bool{
+	"var": true, "if": true, "else": true, "while": true,
+	"for": true, "to": true, "func": true, "int": true, "float": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: []rune(src), line: 1}
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case unicode.IsSpace(c):
+			lx.pos++
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.peek(1) == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := lx.pos
+			for lx.pos < len(lx.src) && (unicode.IsLetter(lx.src[lx.pos]) || unicode.IsDigit(lx.src[lx.pos]) || lx.src[lx.pos] == '_') {
+				lx.pos++
+			}
+			text := string(lx.src[start:lx.pos])
+			kind := tIdent
+			if keywords[text] {
+				kind = tKeyword
+			}
+			lx.emit(kind, text)
+		case unicode.IsDigit(c):
+			start := lx.pos
+			isFloat := false
+			for lx.pos < len(lx.src) && (unicode.IsDigit(lx.src[lx.pos]) || lx.src[lx.pos] == '.') {
+				if lx.src[lx.pos] == '.' {
+					isFloat = true
+				}
+				lx.pos++
+			}
+			if isFloat {
+				lx.emit(tFloat, string(lx.src[start:lx.pos]))
+			} else {
+				lx.emit(tInt, string(lx.src[start:lx.pos]))
+			}
+		case strings.ContainsRune("+-*/%()[]{};,", c):
+			lx.emit(tPunct, string(c))
+			lx.pos++
+		case strings.ContainsRune("=<>!&|", c):
+			two := string(c) + string(lx.peek(1))
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				lx.emit(tPunct, two)
+				lx.pos += 2
+			default:
+				if c == '!' || c == '&' || c == '|' {
+					return nil, fmt.Errorf("frontend: line %d: unexpected %q", lx.line, string(c))
+				}
+				lx.emit(tPunct, string(c))
+				lx.pos++
+			}
+		default:
+			return nil, fmt.Errorf("frontend: line %d: unexpected %q", lx.line, string(c))
+		}
+	}
+	lx.emit(tEOF, "")
+	return lx.toks, nil
+}
+
+func (lx *lexer) peek(ahead int) rune {
+	if lx.pos+ahead < len(lx.src) {
+		return lx.src[lx.pos+ahead]
+	}
+	return 0
+}
+
+func (lx *lexer) emit(kind tokKind, text string) {
+	lx.toks = append(lx.toks, token{kind, text, lx.line})
+}

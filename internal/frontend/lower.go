@@ -1,0 +1,681 @@
+package frontend
+
+import (
+	"fmt"
+
+	"ursa/internal/ir"
+)
+
+// Options tunes lowering.
+type Options struct {
+	// Unroll replicates the body of every `for` loop with constant bounds
+	// whose trip count it divides. 0 or 1 means no unrolling. This is the
+	// substrate for the software-pipelining extension (§6).
+	Unroll int
+}
+
+// Unit is a lowered kernel.
+type Unit struct {
+	Func *ir.Func
+	// Vars maps scalar names to their inferred types. Scalars live in
+	// memory cells (ScalarAddr) between basic blocks, so lowered blocks
+	// are closed regions.
+	Vars map[string]Type
+	// Arrays maps array names to their inferred element types.
+	Arrays map[string]Type
+}
+
+// ScalarAddr returns the memory cell backing a scalar variable.
+func ScalarAddr(name string) ir.Addr { return ir.Addr{Sym: "$" + name, Off: 0} }
+
+// Lower translates a parsed program to IR.
+func Lower(prog *Program, opts Options) (*Unit, error) {
+	lw := &lower{
+		f:      ir.NewFunc(prog.Name),
+		unit:   &Unit{Vars: map[string]Type{}, Arrays: map[string]Type{}},
+		unroll: opts.Unroll,
+	}
+	lw.unit.Func = lw.f
+	if err := lw.infer(prog.Stmts); err != nil {
+		return nil, err
+	}
+	lw.startBlock(lw.newLabel())
+	if err := lw.stmts(prog.Stmts); err != nil {
+		return nil, err
+	}
+	lw.flush()
+	if err := ir.Verify(lw.f); err != nil {
+		return nil, fmt.Errorf("frontend: lowered IR invalid: %w", err)
+	}
+	return lw.unit, nil
+}
+
+// Compile parses and lowers in one step.
+func Compile(src string, opts Options) (*Unit, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(prog, opts)
+}
+
+// MustCompile is Compile that panics on error; for fixtures.
+func MustCompile(src string) *Unit {
+	u, err := Compile(src, Options{})
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+type lower struct {
+	f      *ir.Func
+	unit   *Unit
+	blk    *ir.Block
+	unroll int
+
+	// Per-block state: the register currently holding each scalar, and
+	// which scalars were written (need a store-back at block end).
+	regOf map[string]ir.VReg
+	dirty map[string]bool
+
+	labels int
+}
+
+func (lw *lower) newLabel() string {
+	lw.labels++
+	return fmt.Sprintf("b%d", lw.labels-1)
+}
+
+func (lw *lower) startBlock(label string) {
+	lw.blk = lw.f.NewBlock(label)
+	lw.regOf = map[string]ir.VReg{}
+	lw.dirty = map[string]bool{}
+}
+
+// flush stores every dirty scalar back to its memory cell and clears the
+// per-block register state. Must run before any terminating branch.
+func (lw *lower) flush() {
+	names := make([]string, 0, len(lw.dirty))
+	for n := range lw.dirty {
+		names = append(names, n)
+	}
+	// Deterministic order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, n := range names {
+		op := ir.Store
+		if lw.unit.Vars[n] == TypeFloat {
+			op = ir.StoreF
+		}
+		lw.emit(&ir.Instr{Op: op, Args: []ir.VReg{lw.regOf[n]}, Sym: "$" + n})
+	}
+	lw.regOf = map[string]ir.VReg{}
+	lw.dirty = map[string]bool{}
+}
+
+func (lw *lower) emit(in *ir.Instr) *ir.Instr { return lw.blk.Append(in) }
+
+func (lw *lower) branch(op ir.Op, cond ir.VReg, target string) {
+	lw.flush()
+	in := &ir.Instr{Op: op, Sym: target}
+	if cond != ir.NoReg {
+		in.Args = []ir.VReg{cond}
+	}
+	lw.emit(in)
+}
+
+// infer assigns types to scalars and arrays before lowering.
+func (lw *lower) infer(stmts []Stmt) error {
+	var walkExpr func(e Expr) (Type, error)
+	setVar := func(name string, t Type, line int) error {
+		if old, ok := lw.unit.Vars[name]; ok && old != t {
+			return errAt(line, "variable %s used as both %s and %s", name, old, t)
+		}
+		lw.unit.Vars[name] = t
+		return nil
+	}
+	setArr := func(name string, t Type, line int) error {
+		if old, ok := lw.unit.Arrays[name]; ok && old != t {
+			return errAt(line, "array %s used as both %s and %s", name, old, t)
+		}
+		lw.unit.Arrays[name] = t
+		return nil
+	}
+	walkExpr = func(e Expr) (Type, error) {
+		switch e := e.(type) {
+		case *IntLit:
+			return TypeInt, nil
+		case *FloatLit:
+			return TypeFloat, nil
+		case *VarRef:
+			if t, ok := lw.unit.Vars[e.Name]; ok {
+				return t, nil
+			}
+			// Unseen scalar: default int, read from memory.
+			lw.unit.Vars[e.Name] = TypeInt
+			return TypeInt, nil
+		case *IndexRef:
+			if _, err := walkExpr(e.Index); err != nil {
+				return 0, err
+			}
+			if t, ok := lw.unit.Arrays[e.Name]; ok {
+				return t, nil
+			}
+			lw.unit.Arrays[e.Name] = TypeInt
+			return TypeInt, nil
+		case *Unary:
+			return walkExpr(e.X)
+		case *Binary:
+			tx, err := walkExpr(e.X)
+			if err != nil {
+				return 0, err
+			}
+			ty, err := walkExpr(e.Y)
+			if err != nil {
+				return 0, err
+			}
+			switch e.Op {
+			case "<", "<=", ">", ">=", "==", "!=", "&&", "||":
+				return TypeInt, nil
+			case "%":
+				if tx == TypeFloat || ty == TypeFloat {
+					return 0, errAt(e.Line, "%% requires integers")
+				}
+				return TypeInt, nil
+			default:
+				if tx == TypeFloat || ty == TypeFloat {
+					return TypeFloat, nil
+				}
+				return TypeInt, nil
+			}
+		}
+		return 0, fmt.Errorf("frontend: unknown expression")
+	}
+	var walkStmts func([]Stmt) error
+	walkStmts = func(ss []Stmt) error {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *TypeDecl:
+				if s.IsArray {
+					if err := setArr(s.Name, s.Type, s.Line); err != nil {
+						return err
+					}
+				} else if err := setVar(s.Name, s.Type, s.Line); err != nil {
+					return err
+				}
+			case *VarDecl:
+				t, err := walkExpr(s.Init)
+				if err != nil {
+					return err
+				}
+				if err := setVar(s.Name, t, s.Line); err != nil {
+					return err
+				}
+			case *Assign:
+				t, err := walkExpr(s.Value)
+				if err != nil {
+					return err
+				}
+				if s.Index == nil {
+					if prev, ok := lw.unit.Vars[s.Name]; ok {
+						t = prev // conversions handled at lowering
+					}
+					if err := setVar(s.Name, t, s.Line); err != nil {
+						return err
+					}
+				} else {
+					if _, err := walkExpr(s.Index); err != nil {
+						return err
+					}
+					if prev, ok := lw.unit.Arrays[s.Name]; ok {
+						t = prev
+					}
+					if err := setArr(s.Name, t, s.Line); err != nil {
+						return err
+					}
+				}
+			case *If:
+				if _, err := walkExpr(s.Cond); err != nil {
+					return err
+				}
+				if err := walkStmts(s.Then); err != nil {
+					return err
+				}
+				if err := walkStmts(s.Else); err != nil {
+					return err
+				}
+			case *While:
+				if _, err := walkExpr(s.Cond); err != nil {
+					return err
+				}
+				if err := walkStmts(s.Body); err != nil {
+					return err
+				}
+			case *For:
+				if err := setVar(s.Var, TypeInt, s.Line); err != nil {
+					return err
+				}
+				if _, err := walkExpr(s.Lo); err != nil {
+					return err
+				}
+				if _, err := walkExpr(s.Hi); err != nil {
+					return err
+				}
+				if err := walkStmts(s.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walkStmts(stmts)
+}
+
+func (lw *lower) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := lw.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lower) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *TypeDecl:
+		return nil // handled during inference
+	case *VarDecl:
+		return lw.assignScalar(s.Name, s.Init, s.Line)
+	case *Assign:
+		if s.Index == nil {
+			return lw.assignScalar(s.Name, s.Value, s.Line)
+		}
+		return lw.assignElem(s)
+	case *If:
+		return lw.ifStmt(s)
+	case *While:
+		return lw.whileStmt(s)
+	case *For:
+		return lw.forStmt(s)
+	}
+	return fmt.Errorf("frontend: unknown statement")
+}
+
+func (lw *lower) assignScalar(name string, value Expr, line int) error {
+	want := lw.unit.Vars[name]
+	r, err := lw.exprAs(value, want)
+	if err != nil {
+		return err
+	}
+	lw.regOf[name] = r
+	lw.dirty[name] = true
+	_ = line
+	return nil
+}
+
+func (lw *lower) assignElem(s *Assign) error {
+	want := lw.unit.Arrays[s.Name]
+	val, err := lw.exprAs(s.Value, want)
+	if err != nil {
+		return err
+	}
+	idx, off, err := lw.index(s.Index)
+	if err != nil {
+		return err
+	}
+	op := ir.Store
+	if want == TypeFloat {
+		op = ir.StoreF
+	}
+	lw.emit(&ir.Instr{Op: op, Args: []ir.VReg{val}, Sym: s.Name, Index: idx, Off: off})
+	return nil
+}
+
+// index lowers an array subscript to (index register, constant offset).
+func (lw *lower) index(e Expr) (ir.VReg, int64, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return ir.NoReg, e.Value, nil
+	case *Binary:
+		// i + k / k + i fold into the offset.
+		if e.Op == "+" {
+			if k, ok := e.Y.(*IntLit); ok {
+				r, off, err := lw.index(e.X)
+				return r, off + k.Value, err
+			}
+			if k, ok := e.X.(*IntLit); ok {
+				r, off, err := lw.index(e.Y)
+				return r, off + k.Value, err
+			}
+		}
+	}
+	r, t, err := lw.expr(e)
+	if err != nil {
+		return ir.NoReg, 0, err
+	}
+	if t == TypeFloat {
+		return ir.NoReg, 0, errAt(e.Pos(), "array index must be integer")
+	}
+	return r, 0, nil
+}
+
+func (lw *lower) ifStmt(s *If) error {
+	cond, err := lw.exprAs(s.Cond, TypeInt)
+	if err != nil {
+		return err
+	}
+	elseL, doneL := lw.newLabel(), lw.newLabel()
+	target := doneL
+	if len(s.Else) > 0 {
+		target = elseL
+	}
+	lw.branch(ir.BrFalse, cond, target)
+
+	lw.startBlock(lw.newLabel())
+	if err := lw.stmts(s.Then); err != nil {
+		return err
+	}
+	lw.branch(ir.Br, ir.NoReg, doneL)
+
+	if len(s.Else) > 0 {
+		lw.startBlock(elseL)
+		if err := lw.stmts(s.Else); err != nil {
+			return err
+		}
+		lw.branch(ir.Br, ir.NoReg, doneL)
+	}
+	lw.startBlock(doneL)
+	return nil
+}
+
+func (lw *lower) whileStmt(s *While) error {
+	headL, exitL := lw.newLabel(), lw.newLabel()
+	lw.branch(ir.Br, ir.NoReg, headL)
+	lw.startBlock(headL)
+	cond, err := lw.exprAs(s.Cond, TypeInt)
+	if err != nil {
+		return err
+	}
+	lw.branch(ir.BrFalse, cond, exitL)
+	lw.startBlock(lw.newLabel())
+	if err := lw.stmts(s.Body); err != nil {
+		return err
+	}
+	lw.branch(ir.Br, ir.NoReg, headL)
+	lw.startBlock(exitL)
+	return nil
+}
+
+func (lw *lower) forStmt(s *For) error {
+	factor := lw.unroll
+	if factor > 1 {
+		lo, okLo := s.Lo.(*IntLit)
+		hi, okHi := s.Hi.(*IntLit)
+		if !okLo || !okHi || (hi.Value-lo.Value) <= 0 || (hi.Value-lo.Value)%int64(factor) != 0 {
+			factor = 1 // unrolling only for dividing constant trip counts
+		}
+	} else {
+		factor = 1
+	}
+
+	if err := lw.assignScalar(s.Var, s.Lo, s.Line); err != nil {
+		return err
+	}
+	headL, exitL := lw.newLabel(), lw.newLabel()
+	lw.branch(ir.Br, ir.NoReg, headL)
+
+	lw.startBlock(headL)
+	cond, err := lw.exprAs(&Binary{Op: "<", X: &VarRef{Name: s.Var, Line: s.Line}, Y: s.Hi, Line: s.Line}, TypeInt)
+	if err != nil {
+		return err
+	}
+	lw.branch(ir.BrFalse, cond, exitL)
+
+	lw.startBlock(lw.newLabel())
+	for k := 0; k < factor; k++ {
+		if err := lw.stmts(s.Body); err != nil {
+			return err
+		}
+		// i = i + 1 between replicas keeps body semantics identical.
+		inc := &Binary{Op: "+", X: &VarRef{Name: s.Var, Line: s.Line}, Y: &IntLit{Value: 1, Line: s.Line}, Line: s.Line}
+		if err := lw.assignScalar(s.Var, inc, s.Line); err != nil {
+			return err
+		}
+	}
+	lw.branch(ir.Br, ir.NoReg, headL)
+	lw.startBlock(exitL)
+	return nil
+}
+
+// expr lowers an expression, returning its register and type.
+func (lw *lower) expr(e Expr) (ir.VReg, Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		r := lw.f.NewReg("c", ir.ClassInt)
+		lw.emit(&ir.Instr{Op: ir.ConstI, Dst: r, Imm: e.Value})
+		return r, TypeInt, nil
+	case *FloatLit:
+		r := lw.f.NewReg("cf", ir.ClassFP)
+		lw.emit(&ir.Instr{Op: ir.ConstF, Dst: r, FImm: e.Value})
+		return r, TypeFloat, nil
+	case *VarRef:
+		t := lw.unit.Vars[e.Name]
+		if r, ok := lw.regOf[e.Name]; ok {
+			return r, t, nil
+		}
+		op, cls := ir.Load, ir.ClassInt
+		if t == TypeFloat {
+			op, cls = ir.LoadF, ir.ClassFP
+		}
+		r := lw.f.NewReg(e.Name, cls)
+		lw.emit(&ir.Instr{Op: op, Dst: r, Sym: "$" + e.Name})
+		lw.regOf[e.Name] = r
+		return r, t, nil
+	case *IndexRef:
+		t := lw.unit.Arrays[e.Name]
+		idx, off, err := lw.index(e.Index)
+		if err != nil {
+			return ir.NoReg, 0, err
+		}
+		op, cls := ir.Load, ir.ClassInt
+		if t == TypeFloat {
+			op, cls = ir.LoadF, ir.ClassFP
+		}
+		r := lw.f.NewReg(e.Name+"_e", cls)
+		lw.emit(&ir.Instr{Op: op, Dst: r, Sym: e.Name, Index: idx, Off: off})
+		return r, t, nil
+	case *Unary:
+		r, t, err := lw.expr(e.X)
+		if err != nil {
+			return ir.NoReg, 0, err
+		}
+		op, cls := ir.Neg, ir.ClassInt
+		if t == TypeFloat {
+			op, cls = ir.FNeg, ir.ClassFP
+		}
+		d := lw.f.NewReg("t", cls)
+		lw.emit(&ir.Instr{Op: op, Dst: d, Args: []ir.VReg{r}})
+		return d, t, nil
+	case *Binary:
+		return lw.binary(e)
+	}
+	return ir.NoReg, 0, fmt.Errorf("frontend: unknown expression")
+}
+
+// exprAs lowers e and converts the result to the wanted type.
+func (lw *lower) exprAs(e Expr, want Type) (ir.VReg, error) {
+	r, t, err := lw.expr(e)
+	if err != nil {
+		return ir.NoReg, err
+	}
+	return lw.convert(r, t, want), nil
+}
+
+func (lw *lower) convert(r ir.VReg, from, to Type) ir.VReg {
+	if from == to {
+		return r
+	}
+	if to == TypeFloat {
+		d := lw.f.NewReg("tf", ir.ClassFP)
+		lw.emit(&ir.Instr{Op: ir.ItoF, Dst: d, Args: []ir.VReg{r}})
+		return d
+	}
+	d := lw.f.NewReg("ti", ir.ClassInt)
+	lw.emit(&ir.Instr{Op: ir.FtoI, Dst: d, Args: []ir.VReg{r}})
+	return d
+}
+
+var intOps = map[string]ir.Op{
+	"+": ir.Add, "-": ir.Sub, "*": ir.Mul, "/": ir.Div, "%": ir.Rem,
+	"<": ir.CmpLT, "<=": ir.CmpLE, "==": ir.CmpEQ,
+	"&&": ir.And, "||": ir.Or,
+}
+
+var intImmOps = map[string]ir.Op{
+	"+": ir.AddI, "-": ir.SubI, "*": ir.MulI, "/": ir.DivI, "%": ir.RemI,
+	"<": ir.CmpLTI, "<=": ir.CmpLEI, "==": ir.CmpEQI,
+}
+
+var fpOps = map[string]ir.Op{
+	"+": ir.FAdd, "-": ir.FSub, "*": ir.FMul, "/": ir.FDiv,
+	"<": ir.FCmpLT, "<=": ir.FCmpLE, "==": ir.FCmpEQ,
+}
+
+var fpImmOps = map[string]ir.Op{
+	"+": ir.FAddI, "-": ir.FSubI, "*": ir.FMulI, "/": ir.FDivI,
+}
+
+func (lw *lower) binary(e *Binary) (ir.VReg, Type, error) {
+	op, x, y := e.Op, e.X, e.Y
+	// Normalize > and >= to < and <= by swapping.
+	if op == ">" || op == ">=" {
+		x, y = y, x
+		if op == ">" {
+			op = "<"
+		} else {
+			op = "<="
+		}
+	}
+	// != lowers to == followed by xor 1.
+	if op == "!=" {
+		eq, t, err := lw.binary(&Binary{Op: "==", X: x, Y: y, Line: e.Line})
+		if err != nil {
+			return ir.NoReg, 0, err
+		}
+		_ = t
+		d := lw.f.NewReg("t", ir.ClassInt)
+		lw.emit(&ir.Instr{Op: ir.XorI, Dst: d, Args: []ir.VReg{eq}, Imm: 1})
+		return d, TypeInt, nil
+	}
+
+	tx := lw.typeOf(x)
+	ty := lw.typeOf(y)
+	isFloat := tx == TypeFloat || ty == TypeFloat
+
+	// Immediate forms: integer literal on the right of an integer op, or
+	// float literal on the right of a float arithmetic op. Commutative ops
+	// with a literal on the left are swapped first.
+	if lit, ok := y.(*IntLit); ok && !isFloat {
+		if iop, ok := intImmOps[op]; ok {
+			r, err := lw.exprAs(x, TypeInt)
+			if err != nil {
+				return ir.NoReg, 0, err
+			}
+			d := lw.f.NewReg("t", ir.ClassInt)
+			lw.emit(&ir.Instr{Op: iop, Dst: d, Args: []ir.VReg{r}, Imm: lit.Value})
+			return d, TypeInt, nil
+		}
+	}
+	if lit, ok := x.(*IntLit); ok && !isFloat && (op == "+" || op == "*") {
+		if iop, ok := intImmOps[op]; ok {
+			r, err := lw.exprAs(y, TypeInt)
+			if err != nil {
+				return ir.NoReg, 0, err
+			}
+			d := lw.f.NewReg("t", ir.ClassInt)
+			lw.emit(&ir.Instr{Op: iop, Dst: d, Args: []ir.VReg{r}, Imm: lit.Value})
+			return d, TypeInt, nil
+		}
+	}
+	if lit, ok := y.(*FloatLit); ok && isFloat {
+		if fop, ok := fpImmOps[op]; ok {
+			r, err := lw.exprAs(x, TypeFloat)
+			if err != nil {
+				return ir.NoReg, 0, err
+			}
+			d := lw.f.NewReg("t", ir.ClassFP)
+			lw.emit(&ir.Instr{Op: fop, Dst: d, Args: []ir.VReg{r}, FImm: lit.Value})
+			return d, TypeFloat, nil
+		}
+	}
+
+	if isFloat {
+		fop, ok := fpOps[op]
+		if !ok {
+			return ir.NoReg, 0, errAt(e.Line, "operator %q not defined on floats", op)
+		}
+		rx, err := lw.exprAs(x, TypeFloat)
+		if err != nil {
+			return ir.NoReg, 0, err
+		}
+		ry, err := lw.exprAs(y, TypeFloat)
+		if err != nil {
+			return ir.NoReg, 0, err
+		}
+		cls, t := ir.ClassFP, TypeFloat
+		if ir.Info(fop).DstClass == ir.ClassInt { // comparisons
+			cls, t = ir.ClassInt, TypeInt
+		}
+		d := lw.f.NewReg("t", cls)
+		lw.emit(&ir.Instr{Op: fop, Dst: d, Args: []ir.VReg{rx, ry}})
+		return d, t, nil
+	}
+
+	iop, ok := intOps[op]
+	if !ok {
+		return ir.NoReg, 0, errAt(e.Line, "unknown operator %q", op)
+	}
+	rx, err := lw.exprAs(x, TypeInt)
+	if err != nil {
+		return ir.NoReg, 0, err
+	}
+	ry, err := lw.exprAs(y, TypeInt)
+	if err != nil {
+		return ir.NoReg, 0, err
+	}
+	d := lw.f.NewReg("t", ir.ClassInt)
+	lw.emit(&ir.Instr{Op: iop, Dst: d, Args: []ir.VReg{rx, ry}})
+	return d, TypeInt, nil
+}
+
+// typeOf computes an expression's type without emitting code.
+func (lw *lower) typeOf(e Expr) Type {
+	switch e := e.(type) {
+	case *IntLit:
+		return TypeInt
+	case *FloatLit:
+		return TypeFloat
+	case *VarRef:
+		return lw.unit.Vars[e.Name]
+	case *IndexRef:
+		return lw.unit.Arrays[e.Name]
+	case *Unary:
+		return lw.typeOf(e.X)
+	case *Binary:
+		switch e.Op {
+		case "<", "<=", ">", ">=", "==", "!=", "&&", "||", "%":
+			return TypeInt
+		}
+		if lw.typeOf(e.X) == TypeFloat || lw.typeOf(e.Y) == TypeFloat {
+			return TypeFloat
+		}
+		return TypeInt
+	}
+	return TypeInt
+}

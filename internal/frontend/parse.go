@@ -1,0 +1,389 @@
+package frontend
+
+import "strconv"
+
+// Parse parses a kernel program:
+//
+//	func name {            # optional header; defaults to "kernel"
+//	  var sum = 0.0;
+//	  for i = 0 to 64 {
+//	    sum = sum + a[i] * b[i];
+//	  }
+//	  out[0] = sum;
+//	}
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Name: "kernel"}
+	if p.peek().kind == tKeyword && p.peek().text == "func" {
+		p.next()
+		if p.peek().kind != tIdent {
+			return nil, errAt(p.peek().line, "expected kernel name after func")
+		}
+		prog.Name = p.next().text
+		if err := p.expect("{"); err != nil {
+			return nil, err
+		}
+		stmts, err := p.stmtsUntil("}")
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = stmts
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+	} else {
+		stmts, err := p.stmtsUntil("")
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = stmts
+	}
+	if p.peek().kind != tEOF {
+		return nil, errAt(p.peek().line, "trailing input %q", p.peek().text)
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	if p.peek().text == text && p.peek().kind != tEOF {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return errAt(p.peek().line, "expected %q, found %q", text, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) stmtsUntil(closer string) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		t := p.peek()
+		if t.kind == tEOF || (closer != "" && t.text == closer) {
+			return out, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	stmts, err := p.stmtsUntil("}")
+	if err != nil {
+		return nil, err
+	}
+	return stmts, p.expect("}")
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tKeyword && (t.text == "int" || t.text == "float"):
+		p.next()
+		ty := TypeInt
+		if t.text == "float" {
+			ty = TypeFloat
+		}
+		name := p.next()
+		if name.kind != tIdent {
+			return nil, errAt(name.line, "expected name after %s", t.text)
+		}
+		isArr := false
+		if p.accept("[") {
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			isArr = true
+		}
+		return &TypeDecl{Name: name.text, Type: ty, IsArray: isArr, Line: t.line}, p.expect(";")
+
+	case t.kind == tKeyword && t.text == "var":
+		p.next()
+		name := p.next()
+		if name.kind != tIdent {
+			return nil, errAt(name.line, "expected variable name")
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarDecl{Name: name.text, Init: e, Line: name.line}, p.expect(";")
+
+	case t.kind == tKeyword && t.text == "if":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.peek().kind == tKeyword && p.peek().text == "else" {
+			p.next()
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els, Line: t.line}, nil
+
+	case t.kind == tKeyword && t.text == "while":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body, Line: t.line}, nil
+
+	case t.kind == tKeyword && t.text == "for":
+		p.next()
+		name := p.next()
+		if name.kind != tIdent {
+			return nil, errAt(name.line, "expected loop variable")
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		lo, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().text != "to" {
+			return nil, errAt(p.peek().line, "expected 'to'")
+		}
+		p.next()
+		hi, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &For{Var: name.text, Lo: lo, Hi: hi, Body: body, Line: t.line}, nil
+
+	case t.kind == tIdent:
+		p.next()
+		var index Expr
+		if p.accept("[") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			index = e
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Name: t.text, Index: index, Value: val, Line: t.line}, p.expect(";")
+	}
+	return nil, errAt(t.line, "unexpected %q", t.text)
+}
+
+// Expression grammar (precedence climbing):
+//
+//	or   := and ('||' and)*
+//	and  := cmp ('&&' cmp)*
+//	cmp  := add (('<'|'<='|'>'|'>='|'=='|'!=') add)?
+//	add  := mul (('+'|'-') mul)*
+//	mul  := unary (('*'|'/'|'%') unary)*
+//	unary := '-' unary | primary
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	x, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "||" {
+		line := p.next().line
+		y, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: "||", X: x, Y: y, Line: line}
+	}
+	return x, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	x, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "&&" {
+		line := p.next().line
+		y, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: "&&", X: x, Y: y, Line: line}
+	}
+	return x, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	x, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek().text {
+	case "<", "<=", ">", ">=", "==", "!=":
+		op := p.next()
+		y, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op.text, X: x, Y: y, Line: op.line}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	x, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "+" || p.peek().text == "-" {
+		op := p.next()
+		y, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: op.text, X: x, Y: y, Line: op.line}
+	}
+	return x, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	x, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "*" || p.peek().text == "/" || p.peek().text == "%" {
+		op := p.next()
+		y, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: op.text, X: x, Y: y, Line: op.line}
+	}
+	return x, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.peek().text == "-" {
+		line := p.next().line
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x, Line: line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errAt(t.line, "bad integer %q", t.text)
+		}
+		return &IntLit{Value: v, Line: t.line}, nil
+	case tFloat:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errAt(t.line, "bad float %q", t.text)
+		}
+		return &FloatLit{Value: v, Line: t.line}, nil
+	case tIdent:
+		if p.accept("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &IndexRef{Name: t.text, Index: idx, Line: t.line}, nil
+		}
+		return &VarRef{Name: t.text, Line: t.line}, nil
+	case tPunct:
+		if t.text == "(" {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(")")
+		}
+	}
+	return nil, errAt(t.line, "unexpected %q in expression", t.text)
+}

@@ -1,0 +1,43 @@
+package ir
+
+import "testing"
+
+// FuzzParse checks the textual IR parser never panics, and that accepted
+// programs verify and round-trip through printing.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"func f {\nentry:\n\tx = const 1\n}",
+		"entry:\n\ta = load A[0]\n\tb = muli a, 2\n\tstore O[0], b",
+		"entry:\n\tx = constf 1.5\n\ty = faddi x, 2.5\n\tstoref P[0], y",
+		"entry:\n\tc = cmplt a, b\n\tbrt c, entry",
+		"entry:\n\tret",
+		"entry:\n\tx = load A[i+4]",
+		"e:\n\tx = add a, b\n\ty = div x, x",
+		"}",
+		"func {",
+		"entry:\n\tx = bogus a",
+		"entry:\n\tx = add a",
+		"entry:\n\tstore A, x",
+		"; comment only",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fn, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := Verify(fn); err != nil {
+			t.Fatalf("Parse accepted but Verify rejects: %v\nsource: %q", err, src)
+		}
+		text := fn.String()
+		fn2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\n%s", err, text)
+		}
+		if fn2.String() != text {
+			t.Fatalf("print/parse not a fixed point:\n%q\nvs\n%q", text, fn2.String())
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package ir
+
+import "fmt"
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes. Integer and floating-point arithmetic are distinct operations so
+// that resource classes and functional-unit kinds are syntactically evident,
+// as in a real VLIW ISA.
+const (
+	Nop Op = iota
+
+	// Immediates.
+	ConstI // dst = imm
+	ConstF // dst = fimm
+
+	// Moves and conversions.
+	Mov  // dst = arg0 (class of dst)
+	ItoF // dst(fp) = float(arg0)
+	FtoI // dst(int) = trunc(arg0)
+
+	// Integer ALU.
+	Add
+	Sub
+	Mul
+	Div // traps-free: x/0 == 0 by convention (keeps the simulator total)
+	Rem // x%0 == 0
+	Neg
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	CmpEQ // dst = arg0 == arg1 ? 1 : 0
+	CmpLT
+	CmpLE
+
+	// Integer ALU, immediate second operand (dst = arg0 OP Imm). VLIW ISAs
+	// provide these, and the paper's example relies on them: "w = v * 2"
+	// consumes no register for the constant.
+	AddI
+	SubI
+	MulI
+	DivI
+	RemI
+	AndI
+	OrI
+	XorI
+	ShlI
+	ShrI
+	CmpEQI
+	CmpLTI
+	CmpLEI
+
+	// Floating-point ALU.
+	FAdd
+	FSub
+	FMul
+	FDiv // x/0 == 0 by convention
+	FNeg
+	FCmpEQ // integer 0/1 result
+	FCmpLT
+	FCmpLE
+
+	// Floating-point ALU, immediate second operand (dst = arg0 OP FImm).
+	FAddI
+	FSubI
+	FMulI
+	FDivI
+
+	// Memory.
+	Load   // dst(int) = mem[Sym[Index+Off]]
+	LoadF  // dst(fp)  = mem[...]
+	Store  // mem[...] = arg0(int)
+	StoreF // mem[...] = arg0(fp)
+
+	// Spill code inserted by the allocator. Semantically identical to
+	// Load/Store of the appropriate class (the class is the spilled
+	// register's class) but kept distinct so spills are observable.
+	SpillStore // mem[Sym[Off]] = arg0
+	SpillLoad  // dst = mem[Sym[Off]]
+
+	// Control.
+	Br      // goto Sym
+	BrTrue  // if arg0 != 0 goto Sym
+	BrFalse // if arg0 == 0 goto Sym
+	Ret     // return (optionally arg0)
+
+	numOps
+)
+
+// OpInfo describes the static properties of an opcode.
+type OpInfo struct {
+	Name        string
+	Kind        Kind
+	NArgs       int  // register operands (excluding memory index)
+	HasDst      bool // defines a register
+	Store       bool // writes memory
+	Commutative bool
+	DstClass    Class // class of the defined register (when HasDst)
+	ArgClass    Class // class of register operands
+	ImmOperand  bool  // trailing immediate operand (Imm or FImm by DstClass)
+}
+
+var opInfos = [numOps]OpInfo{
+	Nop:    {Name: "nop", Kind: KindNop},
+	ConstI: {Name: "const", Kind: KindConst, HasDst: true, DstClass: ClassInt},
+	ConstF: {Name: "constf", Kind: KindConst, HasDst: true, DstClass: ClassFP},
+	Mov:    {Name: "mov", Kind: KindIArith, NArgs: 1, HasDst: true},
+	ItoF:   {Name: "itof", Kind: KindFArith, NArgs: 1, HasDst: true, DstClass: ClassFP, ArgClass: ClassInt},
+	FtoI:   {Name: "ftoi", Kind: KindFArith, NArgs: 1, HasDst: true, DstClass: ClassInt, ArgClass: ClassFP},
+
+	Add:   {Name: "add", Kind: KindIArith, NArgs: 2, HasDst: true, Commutative: true},
+	Sub:   {Name: "sub", Kind: KindIArith, NArgs: 2, HasDst: true},
+	Mul:   {Name: "mul", Kind: KindIArith, NArgs: 2, HasDst: true, Commutative: true},
+	Div:   {Name: "div", Kind: KindIArith, NArgs: 2, HasDst: true},
+	Rem:   {Name: "rem", Kind: KindIArith, NArgs: 2, HasDst: true},
+	Neg:   {Name: "neg", Kind: KindIArith, NArgs: 1, HasDst: true},
+	And:   {Name: "and", Kind: KindIArith, NArgs: 2, HasDst: true, Commutative: true},
+	Or:    {Name: "or", Kind: KindIArith, NArgs: 2, HasDst: true, Commutative: true},
+	Xor:   {Name: "xor", Kind: KindIArith, NArgs: 2, HasDst: true, Commutative: true},
+	Shl:   {Name: "shl", Kind: KindIArith, NArgs: 2, HasDst: true},
+	Shr:   {Name: "shr", Kind: KindIArith, NArgs: 2, HasDst: true},
+	CmpEQ: {Name: "cmpeq", Kind: KindIArith, NArgs: 2, HasDst: true, Commutative: true},
+	CmpLT: {Name: "cmplt", Kind: KindIArith, NArgs: 2, HasDst: true},
+	CmpLE: {Name: "cmple", Kind: KindIArith, NArgs: 2, HasDst: true},
+
+	AddI:   {Name: "addi", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+	SubI:   {Name: "subi", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+	MulI:   {Name: "muli", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+	DivI:   {Name: "divi", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+	RemI:   {Name: "remi", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+	AndI:   {Name: "andi", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+	OrI:    {Name: "ori", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+	XorI:   {Name: "xori", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+	ShlI:   {Name: "shli", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+	ShrI:   {Name: "shri", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+	CmpEQI: {Name: "cmpeqi", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+	CmpLTI: {Name: "cmplti", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+	CmpLEI: {Name: "cmplei", Kind: KindIArith, NArgs: 1, HasDst: true, ImmOperand: true},
+
+	FAdd:   {Name: "fadd", Kind: KindFArith, NArgs: 2, HasDst: true, Commutative: true, DstClass: ClassFP, ArgClass: ClassFP},
+	FSub:   {Name: "fsub", Kind: KindFArith, NArgs: 2, HasDst: true, DstClass: ClassFP, ArgClass: ClassFP},
+	FMul:   {Name: "fmul", Kind: KindFArith, NArgs: 2, HasDst: true, Commutative: true, DstClass: ClassFP, ArgClass: ClassFP},
+	FDiv:   {Name: "fdiv", Kind: KindFArith, NArgs: 2, HasDst: true, DstClass: ClassFP, ArgClass: ClassFP},
+	FNeg:   {Name: "fneg", Kind: KindFArith, NArgs: 1, HasDst: true, DstClass: ClassFP, ArgClass: ClassFP},
+	FCmpEQ: {Name: "fcmpeq", Kind: KindFArith, NArgs: 2, HasDst: true, Commutative: true, DstClass: ClassInt, ArgClass: ClassFP},
+	FCmpLT: {Name: "fcmplt", Kind: KindFArith, NArgs: 2, HasDst: true, DstClass: ClassInt, ArgClass: ClassFP},
+	FCmpLE: {Name: "fcmple", Kind: KindFArith, NArgs: 2, HasDst: true, DstClass: ClassInt, ArgClass: ClassFP},
+
+	FAddI: {Name: "faddi", Kind: KindFArith, NArgs: 1, HasDst: true, DstClass: ClassFP, ArgClass: ClassFP, ImmOperand: true},
+	FSubI: {Name: "fsubi", Kind: KindFArith, NArgs: 1, HasDst: true, DstClass: ClassFP, ArgClass: ClassFP, ImmOperand: true},
+	FMulI: {Name: "fmuli", Kind: KindFArith, NArgs: 1, HasDst: true, DstClass: ClassFP, ArgClass: ClassFP, ImmOperand: true},
+	FDivI: {Name: "fdivi", Kind: KindFArith, NArgs: 1, HasDst: true, DstClass: ClassFP, ArgClass: ClassFP, ImmOperand: true},
+
+	Load:   {Name: "load", Kind: KindMem, HasDst: true, DstClass: ClassInt},
+	LoadF:  {Name: "loadf", Kind: KindMem, HasDst: true, DstClass: ClassFP},
+	Store:  {Name: "store", Kind: KindMem, NArgs: 1, Store: true},
+	StoreF: {Name: "storef", Kind: KindMem, NArgs: 1, Store: true, ArgClass: ClassFP},
+
+	SpillStore: {Name: "spillst", Kind: KindMem, NArgs: 1, Store: true},
+	SpillLoad:  {Name: "spillld", Kind: KindMem, HasDst: true},
+
+	Br:      {Name: "br", Kind: KindBranch},
+	BrTrue:  {Name: "brt", Kind: KindBranch, NArgs: 1},
+	BrFalse: {Name: "brf", Kind: KindBranch, NArgs: 1},
+	Ret:     {Name: "ret", Kind: KindBranch},
+}
+
+// Info returns the static description of an opcode.
+func Info(op Op) OpInfo {
+	if op >= numOps {
+		return OpInfo{Name: fmt.Sprintf("op(%d)", uint8(op))}
+	}
+	return opInfos[op]
+}
+
+// String returns the opcode mnemonic.
+func (op Op) String() string { return Info(op).Name }
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		m[opInfos[op].Name] = op
+	}
+	return m
+}()
+
+// OpByName returns the opcode with the given mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}

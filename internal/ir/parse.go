@@ -1,0 +1,326 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual IR format produced by Func.String:
+//
+//	func name {
+//	label:
+//		dst = op args...
+//		store A[3], x
+//		br label
+//	}
+//
+// Lines beginning with ';' or '#' are comments. Register classes are inferred
+// from opcodes (e.g. the destination of fadd is floating point). Memory
+// operands are written Sym[off], Sym[idx] or Sym[idx+off].
+func Parse(src string) (*Func, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	return p.parse()
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures.
+func MustParse(src string) *Func {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	lines []string
+	ln    int
+	f     *Func
+	blk   *Block
+}
+
+// reg resolves (or allocates) a named register, rejecting names that would
+// break the textual format.
+func (p *parser) reg(name string, class Class) (VReg, error) {
+	if !validName(name) {
+		return NoReg, p.errf("invalid register name %q", name)
+	}
+	return p.f.RegOrNew(name, class), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.ln+1, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parse() (*Func, error) {
+	for ; p.ln < len(p.lines); p.ln++ {
+		line := stripComment(p.lines[p.ln])
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "func "):
+			if p.f != nil {
+				return nil, p.errf("nested func")
+			}
+			name := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "func ")), "{"))
+			if !validName(name) {
+				return nil, p.errf("invalid function name %q", name)
+			}
+			p.f = NewFunc(name)
+		case line == "}":
+			if p.f == nil {
+				return nil, p.errf("unexpected }")
+			}
+		case strings.HasSuffix(line, ":"):
+			if p.f == nil {
+				p.f = NewFunc("main")
+			}
+			label := strings.TrimSuffix(line, ":")
+			if !validName(label) {
+				return nil, p.errf("invalid block label %q", label)
+			}
+			p.blk = p.f.NewBlock(label)
+		default:
+			if p.f == nil {
+				p.f = NewFunc("main")
+			}
+			if p.blk == nil {
+				p.blk = p.f.NewBlock("entry")
+			}
+			in, err := p.parseInstr(line)
+			if err != nil {
+				return nil, err
+			}
+			p.blk.Append(in)
+		}
+	}
+	if p.f == nil {
+		return nil, fmt.Errorf("empty input")
+	}
+	if err := Verify(p.f); err != nil {
+		return nil, err
+	}
+	return p.f, nil
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+func (p *parser) parseInstr(line string) (*Instr, error) {
+	var dstName string
+	if i := strings.Index(line, "="); i >= 0 {
+		dstName = strings.TrimSpace(line[:i])
+		line = strings.TrimSpace(line[i+1:])
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil, p.errf("missing opcode")
+	}
+	op, ok := OpByName(fields[0])
+	if !ok {
+		return nil, p.errf("unknown opcode %q", fields[0])
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+	operands := splitOperands(rest)
+	info := Info(op)
+
+	in := &Instr{Op: op}
+	switch op {
+	case ConstI:
+		if len(operands) != 1 {
+			return nil, p.errf("const wants 1 immediate")
+		}
+		v, err := strconv.ParseInt(operands[0], 0, 64)
+		if err != nil {
+			return nil, p.errf("bad immediate %q", operands[0])
+		}
+		in.Imm = v
+	case ConstF:
+		if len(operands) != 1 {
+			return nil, p.errf("constf wants 1 immediate")
+		}
+		v, err := strconv.ParseFloat(operands[0], 64)
+		if err != nil {
+			return nil, p.errf("bad float immediate %q", operands[0])
+		}
+		in.FImm = v
+	case Load, LoadF, SpillLoad:
+		if len(operands) != 1 {
+			return nil, p.errf("%s wants 1 memory operand", info.Name)
+		}
+		if err := p.parseMem(in, operands[0]); err != nil {
+			return nil, err
+		}
+	case Store, StoreF, SpillStore:
+		if len(operands) != 2 {
+			return nil, p.errf("%s wants memory, value", info.Name)
+		}
+		if err := p.parseMem(in, operands[0]); err != nil {
+			return nil, err
+		}
+		a, err := p.reg(operands[1], info.ArgClass)
+		if err != nil {
+			return nil, err
+		}
+		in.Args = []VReg{a}
+	case Br:
+		if len(operands) != 1 {
+			return nil, p.errf("br wants 1 label")
+		}
+		if !validName(operands[0]) {
+			return nil, p.errf("invalid label %q", operands[0])
+		}
+		in.Sym = operands[0]
+	case BrTrue, BrFalse:
+		if len(operands) != 2 {
+			return nil, p.errf("%s wants reg, label", info.Name)
+		}
+		a, err := p.reg(operands[0], ClassInt)
+		if err != nil {
+			return nil, err
+		}
+		if !validName(operands[1]) {
+			return nil, p.errf("invalid label %q", operands[1])
+		}
+		in.Args = []VReg{a}
+		in.Sym = operands[1]
+	case Ret:
+		if len(operands) > 1 {
+			return nil, p.errf("ret wants at most 1 operand")
+		}
+		for _, o := range operands {
+			a, err := p.reg(o, ClassInt)
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, a)
+		}
+	default:
+		want := info.NArgs
+		if info.ImmOperand {
+			want++
+		}
+		if len(operands) != want {
+			return nil, p.errf("%s wants %d operands, got %d", info.Name, want, len(operands))
+		}
+		regOps := operands
+		if info.ImmOperand {
+			last := operands[len(operands)-1]
+			regOps = operands[:len(operands)-1]
+			if info.DstClass == ClassFP {
+				v, err := strconv.ParseFloat(last, 64)
+				if err != nil {
+					return nil, p.errf("bad float immediate %q", last)
+				}
+				in.FImm = v
+			} else {
+				v, err := strconv.ParseInt(last, 0, 64)
+				if err != nil {
+					return nil, p.errf("bad immediate %q", last)
+				}
+				in.Imm = v
+			}
+		}
+		for _, o := range regOps {
+			a, err := p.reg(o, info.ArgClass)
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, a)
+		}
+	}
+
+	if info.HasDst {
+		if dstName == "" {
+			return nil, p.errf("%s requires a destination", info.Name)
+		}
+		d, err := p.reg(dstName, info.DstClass)
+		if err != nil {
+			return nil, err
+		}
+		in.Dst = d
+	} else if dstName != "" {
+		return nil, p.errf("%s does not produce a value", info.Name)
+	}
+	return in, nil
+}
+
+// parseMem parses Sym[off] | Sym[idx] | Sym[idx+off].
+func (p *parser) parseMem(in *Instr, s string) error {
+	lb := strings.Index(s, "[")
+	if lb < 0 || !strings.HasSuffix(s, "]") {
+		return p.errf("bad memory operand %q (want Sym[expr])", s)
+	}
+	in.Sym = s[:lb]
+	if !validName(in.Sym) {
+		return p.errf("invalid memory symbol %q", in.Sym)
+	}
+	expr := s[lb+1 : len(s)-1]
+	if expr == "" {
+		return nil
+	}
+	idx, off := expr, ""
+	if i := strings.Index(expr, "+"); i >= 0 {
+		idx, off = expr[:i], expr[i+1:]
+	}
+	if n, err := strconv.ParseInt(idx, 0, 64); err == nil {
+		if off != "" {
+			return p.errf("bad memory operand %q", s)
+		}
+		in.Off = n
+		return nil
+	}
+	iv, err := p.reg(idx, ClassInt)
+	if err != nil {
+		return err
+	}
+	in.Index = iv
+	if off != "" {
+		n, err := strconv.ParseInt(off, 0, 64)
+		if err != nil {
+			return p.errf("bad memory offset %q", off)
+		}
+		in.Off = n
+	}
+	return nil
+}
+
+// validName reports whether s can safely serve as a register, symbol, or
+// label name in the textual format: an identifier of letters, digits,
+// underscores and dots (optionally starting with '$'), and not a structural
+// keyword. Anything else would not survive a print/parse round trip.
+func validName(s string) bool {
+	if s == "" || s == "func" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r == '$' && i == 0:
+		case i > 0 && (r >= '0' && r <= '9' || r == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural well-formedness of a function: operand counts and
+// classes match opcode signatures, branch targets exist, registers are in
+// range, and branches only appear as block terminators.
+func Verify(f *Func) error {
+	labels := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if labels[b.Label] {
+			return fmt.Errorf("func %s: duplicate label %q", f.Name, b.Label)
+		}
+		labels[b.Label] = true
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if err := verifyInstr(f, b, in); err != nil {
+				return err
+			}
+			if in.IsBranch() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("func %s block %s: branch %s not at block end",
+					f.Name, b.Label, f.InstrString(in))
+			}
+			switch in.Op {
+			case Br, BrTrue, BrFalse:
+				if !labels[in.Sym] {
+					return fmt.Errorf("func %s block %s: unknown branch target %q",
+						f.Name, b.Label, in.Sym)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func verifyInstr(f *Func, b *Block, in *Instr) error {
+	info := Info(in.Op)
+	ctx := func() string { return fmt.Sprintf("func %s block %s: %s", f.Name, b.Label, f.InstrString(in)) }
+
+	wantArgs := info.NArgs
+	if in.Op == Ret {
+		if len(in.Args) > 1 {
+			return fmt.Errorf("%s: ret takes at most one operand", ctx())
+		}
+	} else if len(in.Args) != wantArgs {
+		return fmt.Errorf("%s: want %d operands, got %d", ctx(), wantArgs, len(in.Args))
+	}
+	if info.HasDst && in.Dst == NoReg {
+		return fmt.Errorf("%s: missing destination", ctx())
+	}
+	if !info.HasDst && in.Dst != NoReg {
+		return fmt.Errorf("%s: unexpected destination", ctx())
+	}
+	check := func(v VReg, what string) error {
+		if v <= 0 || int(v) >= f.NumRegs() {
+			return fmt.Errorf("%s: %s register %d out of range", ctx(), what, v)
+		}
+		return nil
+	}
+	if in.Dst != NoReg {
+		if err := check(in.Dst, "destination"); err != nil {
+			return err
+		}
+		// Spill ops inherit the class of the spilled value; Mov inherits
+		// its operand's class; everything else is fixed by the opcode.
+		if in.Op != SpillLoad && in.Op != Mov && f.ClassOf(in.Dst) != info.DstClass {
+			return fmt.Errorf("%s: destination class %s, want %s",
+				ctx(), f.ClassOf(in.Dst), info.DstClass)
+		}
+	}
+	for _, a := range in.Args {
+		if err := check(a, "operand"); err != nil {
+			return err
+		}
+	}
+	if in.Index != NoReg {
+		if err := check(in.Index, "index"); err != nil {
+			return err
+		}
+		if f.ClassOf(in.Index) != ClassInt {
+			return fmt.Errorf("%s: index register must be integer", ctx())
+		}
+	}
+	if !in.IsMem() && in.Index != NoReg {
+		return fmt.Errorf("%s: index register on non-memory op", ctx())
+	}
+	for _, a := range in.Args {
+		if in.Op == Mov || in.Op == SpillStore || in.Op == Ret {
+			continue // class-polymorphic
+		}
+		if f.ClassOf(a) != info.ArgClass {
+			return fmt.Errorf("%s: operand %s class %s, want %s",
+				ctx(), f.NameOf(a), f.ClassOf(a), info.ArgClass)
+		}
+	}
+	return nil
+}
+
+// VerifySSA checks that every register in the block is defined at most once
+// and defined before use (straight-line single-assignment form, the input
+// discipline required by DAG construction). Registers never defined in the
+// block are treated as live-in.
+func VerifySSA(b *Block) error {
+	f := b.Func
+	defined := make(map[VReg]bool)
+	definedInBlock := make(map[VReg]bool)
+	for _, in := range b.Instrs {
+		if in.Dst != NoReg {
+			definedInBlock[in.Dst] = true
+		}
+	}
+	for _, in := range b.Instrs {
+		for _, u := range in.Uses() {
+			if definedInBlock[u] && !defined[u] {
+				return fmt.Errorf("block %s: %s uses %s before its definition",
+					b.Label, f.InstrString(in), f.NameOf(u))
+			}
+		}
+		if in.Dst != NoReg {
+			if defined[in.Dst] {
+				return fmt.Errorf("block %s: %s redefines %s",
+					b.Label, f.InstrString(in), f.NameOf(in.Dst))
+			}
+			defined[in.Dst] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+// Package machine describes the target VLIW: how many functional units of
+// each class issue per cycle, how many registers each register file holds,
+// and per-operation latencies. The paper's machines are non-pipelined with
+// homogeneous functional units; heterogeneous unit classes and multi-cycle
+// latencies are supported as the natural extension (§5, §6).
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"ursa/internal/ir"
+)
+
+// FUClass is a functional-unit class.
+type FUClass uint8
+
+// Functional-unit classes.
+const (
+	ANY  FUClass = iota // homogeneous machines: every unit runs anything
+	IALU                // integer ALU
+	FALU                // floating-point ALU
+	MEM                 // load/store unit
+	BR                  // branch unit
+	numFUClasses
+)
+
+// String returns the class mnemonic.
+func (c FUClass) String() string {
+	switch c {
+	case ANY:
+		return "any"
+	case IALU:
+		return "ialu"
+	case FALU:
+		return "falu"
+	case MEM:
+		return "mem"
+	case BR:
+		return "br"
+	}
+	return fmt.Sprintf("fu(%d)", uint8(c))
+}
+
+// Config is a machine description.
+type Config struct {
+	Name string
+	// Homogeneous machines issue any instruction on any of Units[ANY]
+	// functional units, the paper's model. Heterogeneous machines issue on
+	// class-specific units.
+	Homogeneous bool
+	// Units holds the functional-unit count per class (index by FUClass).
+	// For homogeneous machines only Units[ANY] is meaningful.
+	Units [numFUClasses]int
+	// Regs holds the register-file size per register class.
+	Regs [ir.NumClasses]int
+	// Latency gives each opcode's execution time in cycles; nil means unit
+	// latency. By default units are not pipelined: a unit is busy for the
+	// whole latency of the instruction it executes (the paper's §3.2
+	// model).
+	Latency func(op ir.Op) int
+	// Pipelined units accept a new instruction every cycle while earlier
+	// results are still in flight — the §6 future-work direction toward
+	// superscalar/pipelined targets. Dependences still wait the full
+	// latency; only unit occupancy changes.
+	Pipelined bool
+}
+
+// OccupancyOf returns how many cycles one instruction keeps its unit busy.
+func (c *Config) OccupancyOf(op ir.Op) int {
+	if c.Pipelined {
+		return 1
+	}
+	return c.LatencyOf(op)
+}
+
+// VLIW returns the paper's machine model: a homogeneous VLIW issuing width
+// instructions per cycle with regs registers in each register file, unit
+// latencies.
+func VLIW(width, regs int) *Config {
+	c := &Config{
+		Name:        fmt.Sprintf("vliw%dx%dr", width, regs),
+		Homogeneous: true,
+	}
+	c.Units[ANY] = width
+	for i := range c.Regs {
+		c.Regs[i] = regs
+	}
+	return c
+}
+
+// Heterogeneous returns a machine with per-class functional units.
+func Heterogeneous(ialu, falu, mem, br, intRegs, fpRegs int) *Config {
+	c := &Config{
+		Name: fmt.Sprintf("het%d%d%d%d", ialu, falu, mem, br),
+	}
+	c.Units[IALU] = ialu
+	c.Units[FALU] = falu
+	c.Units[MEM] = mem
+	c.Units[BR] = br
+	c.Regs[ir.ClassInt] = intRegs
+	c.Regs[ir.ClassFP] = fpRegs
+	return c
+}
+
+// RealisticLatency is an optional latency model: multiplies and memory take
+// longer than simple ALU operations, divisions longer still.
+func RealisticLatency(op ir.Op) int {
+	switch op {
+	case ir.Mul, ir.MulI, ir.FMul, ir.FMulI:
+		return 2
+	case ir.Div, ir.DivI, ir.Rem, ir.RemI, ir.FDiv, ir.FDivI:
+		return 4
+	case ir.Load, ir.LoadF, ir.Store, ir.StoreF, ir.SpillLoad, ir.SpillStore:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// LatencyOf returns the latency of an opcode under this machine.
+func (c *Config) LatencyOf(op ir.Op) int {
+	if c.Latency == nil {
+		return 1
+	}
+	if l := c.Latency(op); l > 0 {
+		return l
+	}
+	return 1
+}
+
+// ClassFor maps an instruction kind to the FU class that executes it.
+func (c *Config) ClassFor(k ir.Kind) FUClass {
+	if c.Homogeneous {
+		return ANY
+	}
+	switch k {
+	case ir.KindFArith:
+		return FALU
+	case ir.KindMem:
+		return MEM
+	case ir.KindBranch:
+		return BR
+	default: // const, move, integer ALU, nop
+		return IALU
+	}
+}
+
+// UnitsFor returns how many units can execute instructions of kind k.
+func (c *Config) UnitsFor(k ir.Kind) int {
+	return c.Units[c.ClassFor(k)]
+}
+
+// FUClasses returns the distinct FU classes this machine schedules
+// (just ANY for homogeneous machines).
+func (c *Config) FUClasses() []FUClass {
+	if c.Homogeneous {
+		return []FUClass{ANY}
+	}
+	var out []FUClass
+	for cl := IALU; cl < numFUClasses; cl++ {
+		if c.Units[cl] > 0 {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+// KindsOf returns the instruction kinds executed by FU class cl under this
+// machine.
+func (c *Config) KindsOf(cl FUClass) []ir.Kind {
+	all := []ir.Kind{ir.KindNop, ir.KindConst, ir.KindIArith, ir.KindFArith, ir.KindMem, ir.KindBranch}
+	var out []ir.Kind
+	for _, k := range all {
+		if c.ClassFor(k) == cl {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Validate checks the configuration is usable.
+func (c *Config) Validate() error {
+	total := 0
+	for _, u := range c.Units {
+		if u < 0 {
+			return fmt.Errorf("machine %s: negative unit count", c.Name)
+		}
+		total += u
+	}
+	if total == 0 {
+		return fmt.Errorf("machine %s: no functional units", c.Name)
+	}
+	for cl, r := range c.Regs {
+		if r < 1 {
+			return fmt.Errorf("machine %s: register class %s has %d registers; need at least 1",
+				c.Name, ir.Class(cl), r)
+		}
+	}
+	return nil
+}
+
+// String renders a summary like "vliw4x8r: 4×any, 8 int / 8 fp regs".
+func (c *Config) String() string {
+	var units []string
+	for cl := FUClass(0); cl < numFUClasses; cl++ {
+		if c.Units[cl] > 0 {
+			units = append(units, fmt.Sprintf("%d×%s", c.Units[cl], cl))
+		}
+	}
+	return fmt.Sprintf("%s: %s, %d int / %d fp regs",
+		c.Name, strings.Join(units, " "), c.Regs[ir.ClassInt], c.Regs[ir.ClassFP])
+}

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"ursa/internal/ir"
+)
+
+func TestVLIWPreset(t *testing.T) {
+	m := VLIW(4, 8)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !m.Homogeneous || m.Units[ANY] != 4 {
+		t.Errorf("VLIW(4,8) units = %v", m.Units)
+	}
+	if m.Regs[ir.ClassInt] != 8 || m.Regs[ir.ClassFP] != 8 {
+		t.Errorf("regs = %v", m.Regs)
+	}
+	if m.ClassFor(ir.KindFArith) != ANY {
+		t.Error("homogeneous machine must map every kind to ANY")
+	}
+	if got := m.UnitsFor(ir.KindMem); got != 4 {
+		t.Errorf("UnitsFor(mem) = %d", got)
+	}
+	if cls := m.FUClasses(); len(cls) != 1 || cls[0] != ANY {
+		t.Errorf("FUClasses = %v", cls)
+	}
+}
+
+func TestHeterogeneousPreset(t *testing.T) {
+	m := Heterogeneous(2, 1, 1, 1, 16, 8)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.ClassFor(ir.KindFArith) != FALU || m.ClassFor(ir.KindMem) != MEM ||
+		m.ClassFor(ir.KindBranch) != BR || m.ClassFor(ir.KindIArith) != IALU ||
+		m.ClassFor(ir.KindConst) != IALU {
+		t.Error("kind-to-class mapping wrong")
+	}
+	if got := m.UnitsFor(ir.KindIArith); got != 2 {
+		t.Errorf("UnitsFor(ialu) = %d", got)
+	}
+	if len(m.FUClasses()) != 4 {
+		t.Errorf("FUClasses = %v", m.FUClasses())
+	}
+	kinds := m.KindsOf(IALU)
+	if len(kinds) != 4 { // nop, const, ialu and... nop,const,iarith = 3? includes KindNop
+		// KindsOf(IALU) = nop, const, iarith.
+		if len(kinds) != 3 {
+			t.Errorf("KindsOf(IALU) = %v", kinds)
+		}
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	m := VLIW(2, 8)
+	if m.LatencyOf(ir.Div) != 1 {
+		t.Error("default latency must be 1")
+	}
+	m.Latency = RealisticLatency
+	if m.LatencyOf(ir.Div) != 4 || m.LatencyOf(ir.Load) != 2 || m.LatencyOf(ir.Add) != 1 {
+		t.Error("realistic latencies wrong")
+	}
+	m.Latency = func(ir.Op) int { return 0 }
+	if m.LatencyOf(ir.Add) != 1 {
+		t.Error("non-positive latency must clamp to 1")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	m := VLIW(0, 8)
+	if err := m.Validate(); err == nil {
+		t.Error("0 units accepted")
+	}
+	m = VLIW(2, 0)
+	if err := m.Validate(); err == nil {
+		t.Error("0 registers accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := VLIW(4, 8).String()
+	for _, want := range []string{"vliw4x8r", "4×any", "8 int"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package matching
+
+// HopcroftKarp computes a maximum matching of the bipartite graph given by
+// adjacency lists (left vertex -> right neighbours) in O(E·√V). It returns
+// the left-to-right assignment (-1 for unmatched) and the matching size.
+// Used by the benchmarks as the asymptotically faster cross-check of the
+// incremental matcher.
+func HopcroftKarp(nl, nr int, adj [][]int) ([]int, int) {
+	const inf = int32(1) << 30
+	matchL := make([]int32, nl)
+	matchR := make([]int32, nr)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int32, nl)
+	queue := make([]int32, 0, nl)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < nl; l++ {
+			if matchL[l] == -1 {
+				dist[l] = 0
+				queue = append(queue, int32(l))
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, r := range adj[l] {
+				nxt := matchR[r]
+				if nxt == -1 {
+					found = true
+				} else if dist[nxt] == inf {
+					dist[nxt] = dist[l] + 1
+					queue = append(queue, nxt)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int32) bool
+	dfs = func(l int32) bool {
+		for _, r := range adj[l] {
+			nxt := matchR[r]
+			if nxt == -1 || (dist[nxt] == dist[l]+1 && dfs(nxt)) {
+				matchL[l] = int32(r)
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for l := 0; l < nl; l++ {
+			if matchL[l] == -1 && dfs(int32(l)) {
+				size++
+			}
+		}
+	}
+	out := make([]int, nl)
+	for l := range out {
+		out[l] = int(matchL[l])
+	}
+	return out, size
+}

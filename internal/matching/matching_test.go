@@ -1,0 +1,186 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxSimple(t *testing.T) {
+	// Perfect matching on K2,2.
+	adj := [][]int{{0, 1}, {0, 1}}
+	match, size := Max(2, 2, adj)
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+	if match[0] == match[1] {
+		t.Errorf("both left vertices matched to %d", match[0])
+	}
+}
+
+func TestMaxUnmatchable(t *testing.T) {
+	// Three left vertices all adjacent only to right vertex 0.
+	adj := [][]int{{0}, {0}, {0}}
+	match, size := Max(3, 1, adj)
+	if size != 1 {
+		t.Fatalf("size = %d, want 1", size)
+	}
+	matched := 0
+	for _, r := range match {
+		if r != -1 {
+			matched++
+		}
+	}
+	if matched != 1 {
+		t.Errorf("%d left vertices matched, want 1", matched)
+	}
+}
+
+func TestMaxEmpty(t *testing.T) {
+	if _, size := Max(0, 0, nil); size != 0 {
+		t.Errorf("empty graph matching size = %d", size)
+	}
+	adj := make([][]int, 3)
+	if _, size := Max(3, 3, adj); size != 0 {
+		t.Errorf("edgeless graph matching size = %d", size)
+	}
+}
+
+func TestIncrementalBatchesPreferEarlyEdges(t *testing.T) {
+	// Batch 1: (0,0). Batch 2: (0,1),(1,0).
+	// A maximum matching of the full graph has size 2 and must use (0,1)
+	// and (1,0) — augmentation after the second batch must rewire the
+	// first batch's edge. This is exactly the re-augmentation behaviour
+	// the prioritized chain decomposition relies on.
+	m := NewIncremental(2, 2)
+	m.AddEdge(0, 0)
+	if got := m.Augment(); got != 1 {
+		t.Fatalf("after batch 1: size = %d, want 1", got)
+	}
+	if m.PairL(0) != 0 {
+		t.Fatalf("batch 1 edge not matched")
+	}
+	m.AddEdge(0, 1)
+	m.AddEdge(1, 0)
+	if got := m.Augment(); got != 2 {
+		t.Fatalf("after batch 2: size = %d, want 2", got)
+	}
+	if m.PairL(0) != 1 || m.PairL(1) != 0 {
+		t.Errorf("matching = {0:%d, 1:%d}, want {0:1, 1:0}", m.PairL(0), m.PairL(1))
+	}
+	if m.PairR(0) != 1 || m.PairR(1) != 0 {
+		t.Errorf("reverse matching inconsistent")
+	}
+}
+
+func TestIncrementalPriorityRetention(t *testing.T) {
+	// Left 0 can take right 0 or 1; left 1 can take only right 1.
+	// If (0,0) arrives in an earlier batch it stays matched and both match.
+	m := NewIncremental(2, 2)
+	m.AddEdge(0, 0)
+	m.Augment()
+	m.AddEdge(0, 1)
+	m.AddEdge(1, 1)
+	if got := m.Augment(); got != 2 {
+		t.Fatalf("size = %d, want 2", got)
+	}
+	if m.PairL(0) != 0 {
+		t.Errorf("high-priority edge (0,0) was displaced needlessly: PairL(0)=%d", m.PairL(0))
+	}
+}
+
+func randomAdj(rng *rand.Rand, nl, nr int, p float64) [][]int {
+	adj := make([][]int, nl)
+	for l := 0; l < nl; l++ {
+		for r := 0; r < nr; r++ {
+			if rng.Float64() < p {
+				adj[l] = append(adj[l], r)
+			}
+		}
+	}
+	return adj
+}
+
+func validMatching(t *testing.T, nl, nr int, adj [][]int, match []int) {
+	t.Helper()
+	usedR := make(map[int]bool)
+	for l, r := range match {
+		if r == -1 {
+			continue
+		}
+		if usedR[r] {
+			t.Fatalf("right vertex %d matched twice", r)
+		}
+		usedR[r] = true
+		found := false
+		for _, x := range adj[l] {
+			if x == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("matched pair (%d,%d) is not an edge", l, r)
+		}
+	}
+}
+
+func TestKuhnAgreesWithHopcroftKarp(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		nl := 1 + rng.Intn(20)
+		nr := 1 + rng.Intn(20)
+		adj := randomAdj(rng, nl, nr, 0.2)
+		m1, s1 := Max(nl, nr, adj)
+		m2, s2 := HopcroftKarp(nl, nr, adj)
+		if s1 != s2 {
+			t.Fatalf("trial %d: Kuhn size %d != HK size %d", trial, s1, s2)
+		}
+		validMatching(t, nl, nr, adj, m1)
+		validMatching(t, nl, nr, adj, m2)
+	}
+}
+
+func TestIncrementalBatchedEqualsOneShot(t *testing.T) {
+	// Splitting the edge set into arbitrary batches must not change the
+	// final matching size (only its composition).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nl := 1 + rng.Intn(15)
+		nr := 1 + rng.Intn(15)
+		adj := randomAdj(rng, nl, nr, 0.3)
+		_, want := Max(nl, nr, adj)
+
+		m := NewIncremental(nl, nr)
+		got := 0
+		for l, rs := range adj {
+			for _, r := range rs {
+				m.AddEdge(l, r)
+				if rng.Intn(3) == 0 {
+					got = m.Augment()
+				}
+			}
+		}
+		got = m.Augment()
+		if got != want {
+			t.Fatalf("trial %d: batched size %d != one-shot %d", trial, got, want)
+		}
+	}
+}
+
+func BenchmarkKuhn256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	adj := randomAdj(rng, 256, 256, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Max(256, 256, adj)
+	}
+}
+
+func BenchmarkHopcroftKarp256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	adj := randomAdj(rng, 256, 256, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HopcroftKarp(256, 256, adj)
+	}
+}

@@ -1,0 +1,236 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"ursa/internal/ir"
+	"ursa/internal/workload"
+)
+
+func TestConstantFolding(t *testing.T) {
+	f := ir.MustParse(`
+entry:
+	a = const 6
+	b = const 7
+	c = mul a, b
+	d = addi c, 1
+	store O[0], d
+`)
+	st := Block(f.Blocks[0])
+	if st.Folded < 2 {
+		t.Errorf("folded = %d, want >= 2", st.Folded)
+	}
+	// After folding + DCE only the final constant and the store remain.
+	if got := len(f.Blocks[0].Instrs); got != 2 {
+		t.Errorf("instrs = %d, want 2:\n%s", got, f.String())
+	}
+	run := ir.NewState()
+	if _, err := run.Run(f, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := run.Mem[ir.Addr{Sym: "O"}].Int(); got != 43 {
+		t.Errorf("O[0] = %d, want 43", got)
+	}
+}
+
+func TestCopyPropagation(t *testing.T) {
+	f := ir.MustParse(`
+entry:
+	a = load A[0]
+	b = mov a
+	c = addi b, 1
+	store O[0], c
+`)
+	st := Block(f.Blocks[0])
+	if st.CopyProp == 0 {
+		t.Error("no copies propagated")
+	}
+	if st.DCE == 0 {
+		t.Error("dead mov not removed")
+	}
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == ir.Mov {
+			t.Error("mov survived")
+		}
+	}
+}
+
+func TestCSEPureAndCommutative(t *testing.T) {
+	f := ir.MustParse(`
+entry:
+	a = load A[0]
+	b = load A[1]
+	x = add a, b
+	y = add b, a
+	z = mul x, y
+	store O[0], z
+`)
+	st := Block(f.Blocks[0])
+	if st.CSE == 0 {
+		t.Error("commutative duplicate not eliminated")
+	}
+	adds := 0
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == ir.Add {
+			adds++
+		}
+	}
+	if adds != 1 {
+		t.Errorf("adds = %d, want 1", adds)
+	}
+}
+
+func TestCSELoadsRespectStores(t *testing.T) {
+	f := ir.MustParse(`
+entry:
+	a = load A[0]
+	b = load A[0]
+	store A[0], b
+	c = load A[0]
+	d = load B[0]
+	store O[0], a
+	store O[1], c
+	store O[2], d
+`)
+	st := Block(f.Blocks[0])
+	if st.CSE != 1 {
+		t.Errorf("CSE = %d, want exactly 1 (only the pre-store duplicate)", st.CSE)
+	}
+	loads := 0
+	for _, in := range f.Blocks[0].Instrs {
+		if in.IsLoad() {
+			loads++
+		}
+	}
+	if loads != 3 { // A[0] once, A[0] after the store, B[0]
+		t.Errorf("loads = %d, want 3", loads)
+	}
+}
+
+func TestDCEKeepsLiveOuts(t *testing.T) {
+	f := ir.MustParse(`
+entry:
+	a = load A[0]
+	b = addi a, 1
+`)
+	// b is defined-but-unused: the region's live-out. It must survive.
+	st := Block(f.Blocks[0])
+	if st.DCE != 0 {
+		t.Errorf("DCE removed %d instructions from a fully live block", st.DCE)
+	}
+	if len(f.Blocks[0].Instrs) != 2 {
+		t.Error("live-out computation removed")
+	}
+}
+
+// TestOptPreservesSemanticsRandom: optimized random blocks compute the same
+// memory state as the originals for random inputs.
+func TestOptPreservesSemanticsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		f := workload.RandomBlock(rng, 8+rng.Intn(24), 0.4)
+		init := workload.RandomInit(rng.Int63())
+
+		ref := init.Clone()
+		for _, in := range f.Blocks[0].Instrs {
+			ref.Exec(f, in)
+		}
+
+		stats := Func(f)
+		got := init.Clone()
+		for _, in := range f.Blocks[0].Instrs {
+			got.Exec(f, in)
+		}
+		for addr, want := range ref.Mem {
+			if got.Mem[addr] != want {
+				t.Fatalf("trial %d (%s): mem %v = %d, want %d",
+					trial, stats.String(), addr, got.Mem[addr].Int(), want.Int())
+			}
+		}
+		if err := ir.VerifySSA(f.Blocks[0]); err != nil {
+			t.Fatalf("trial %d: optimized block not SSA: %v", trial, err)
+		}
+	}
+}
+
+// TestOptShrinksKernels: the kernel suite must not grow, and at least some
+// kernels must shrink (the frontend emits redundant per-use loads that CSE
+// folds away).
+func TestOptShrinksKernels(t *testing.T) {
+	shrunk := 0
+	for _, k := range workload.Kernels() {
+		u, err := k.Unit(2)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		count := func() int {
+			n := 0
+			for _, b := range u.Func.Blocks {
+				n += len(b.Instrs)
+			}
+			return n
+		}
+		before := count()
+		stats := Func(u.Func)
+		after := count()
+		if after > before {
+			t.Errorf("%s: grew %d -> %d", k.Name, before, after)
+		}
+		if after < before {
+			shrunk++
+		}
+		// Still runs correctly.
+		ref := k.State(3)
+		if _, err := ref.Run(u.Func, 10_000_000); err != nil {
+			t.Fatalf("%s after opt (%s): %v", k.Name, stats.String(), err)
+		}
+	}
+	if shrunk == 0 {
+		t.Error("no kernel shrank")
+	}
+}
+
+func TestAlgebraicSimplification(t *testing.T) {
+	f := ir.MustParse(`
+entry:
+	a = load A[0]
+	b = addi a, 0
+	c = muli b, 8
+	d = muli c, 1
+	e = divi d, 1
+	g = xori e, 0
+	z = muli g, 0
+	store O[0], g
+	store O[1], z
+`)
+	st := Block(f.Blocks[0])
+	if st.Simplify < 5 {
+		t.Errorf("simplified = %d, want >= 5\n%s", st.Simplify, f.String())
+	}
+	// x*8 must have become a shift.
+	hasShift := false
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == ir.ShlI && in.Imm == 3 {
+			hasShift = true
+		}
+		if in.Op == ir.Mov {
+			t.Error("mov survived copy propagation")
+		}
+	}
+	if !hasShift {
+		t.Errorf("muli x,8 not strength-reduced:\n%s", f.String())
+	}
+	// Semantics: O[0] = A[0]*8, O[1] = 0.
+	run := ir.NewState()
+	run.StoreInt("A", 0, 5)
+	if _, err := run.Run(f, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := run.Mem[ir.Addr{Sym: "O", Off: 0}].Int(); got != 40 {
+		t.Errorf("O[0] = %d, want 40", got)
+	}
+	if got := run.Mem[ir.Addr{Sym: "O", Off: 1}].Int(); got != 0 {
+		t.Errorf("O[1] = %d, want 0", got)
+	}
+}

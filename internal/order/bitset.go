@@ -1,0 +1,133 @@
+// Package order provides the partial-order machinery underlying URSA's
+// resource-requirement measurements: dense bitsets, binary relations over
+// node sets, transitive closure/reduction, and chain/antichain utilities
+// realizing Dilworth's theorem (Theorem 1 of the paper).
+package order
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// BitSet is a fixed-capacity dense bitset over {0..n-1}.
+type BitSet struct {
+	words []uint64
+	n     int
+}
+
+// NewBitSet returns an empty bitset with capacity n.
+func NewBitSet(n int) *BitSet {
+	return &BitSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the set.
+func (s *BitSet) Len() int { return s.n }
+
+// Set adds i to the set.
+func (s *BitSet) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes i from the set.
+func (s *BitSet) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether i is in the set.
+func (s *BitSet) Has(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the cardinality of the set.
+func (s *BitSet) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Or sets s = s ∪ t and reports whether s changed.
+func (s *BitSet) Or(t *BitSet) bool {
+	changed := false
+	for i, w := range t.words {
+		nw := s.words[i] | w
+		if nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// And sets s = s ∩ t.
+func (s *BitSet) And(t *BitSet) {
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// AndNot sets s = s \ t.
+func (s *BitSet) AndNot(t *BitSet) {
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Intersects reports whether s ∩ t is nonempty.
+func (s *BitSet) Intersects(t *BitSet) bool {
+	for i := range s.words {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a copy of the set.
+func (s *BitSet) Clone() *BitSet {
+	c := NewBitSet(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with t (same capacity required).
+func (s *BitSet) CopyFrom(t *BitSet) {
+	copy(s.words, t.words)
+}
+
+// Reset empties the set.
+func (s *BitSet) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// ForEach calls fn for every member in increasing order.
+func (s *BitSet) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the elements in increasing order.
+func (s *BitSet) Members() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the set as {a, b, ...}.
+func (s *BitSet) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,250 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	s := NewBitSet(130)
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		s.Set(i)
+	}
+	if s.Count() != 5 {
+		t.Errorf("Count = %d, want 5", s.Count())
+	}
+	if !s.Has(64) || s.Has(65) {
+		t.Error("Has gave wrong membership")
+	}
+	s.Clear(64)
+	if s.Has(64) {
+		t.Error("Clear failed")
+	}
+	got := s.Members()
+	want := []int{0, 63, 127, 129}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+	if s.String() != "{0, 63, 127, 129}" {
+		t.Errorf("String = %s", s.String())
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	a := NewBitSet(100)
+	b := NewBitSet(100)
+	a.Set(1)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	c := a.Clone()
+	if changed := c.Or(b); !changed {
+		t.Error("Or reported no change")
+	}
+	if c.Count() != 3 {
+		t.Errorf("union Count = %d, want 3", c.Count())
+	}
+	if changed := c.Or(b); changed {
+		t.Error("idempotent Or reported change")
+	}
+	c.AndNot(b)
+	if c.Count() != 1 || !c.Has(1) {
+		t.Errorf("AndNot left %v", c.Members())
+	}
+	a.And(b)
+	if a.Count() != 1 || !a.Has(70) {
+		t.Errorf("And left %v", a.Members())
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+// diamond: 0 -> {1,2} -> 3
+func diamond() *Relation {
+	r := NewRelation(4)
+	r.Add(0, 1)
+	r.Add(0, 2)
+	r.Add(1, 3)
+	r.Add(2, 3)
+	return r
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	c := diamond().TransitiveClosure()
+	if !c.Has(0, 3) {
+		t.Error("closure missing (0,3)")
+	}
+	if c.Has(1, 2) || c.Has(2, 1) {
+		t.Error("closure invented relation between 1 and 2")
+	}
+	if err := c.IsStrictPartialOrder(); err != nil {
+		t.Errorf("closure not a strict partial order: %v", err)
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	r := diamond()
+	r.Add(0, 3) // redundant
+	red := r.TransitiveReduction()
+	if red.Has(0, 3) {
+		t.Error("reduction kept redundant edge (0,3)")
+	}
+	if red.Pairs() != 4 {
+		t.Errorf("reduction has %d pairs, want 4", red.Pairs())
+	}
+	// Same closure.
+	c1 := r.TransitiveClosure()
+	c2 := red.TransitiveClosure()
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if c1.Has(a, b) != c2.Has(a, b) {
+				t.Fatalf("closures differ at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	r := NewRelation(3)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 0)
+	if r.IsAcyclic() {
+		t.Error("cycle not detected")
+	}
+	if _, ok := r.TopoOrder(); ok {
+		t.Error("TopoOrder succeeded on a cycle")
+	}
+	// Closure must still terminate on cyclic input.
+	c := r.TransitiveClosure()
+	if !c.Has(0, 0) {
+		t.Error("cyclic closure should relate 0 to itself")
+	}
+}
+
+func TestValidateDecomposition(t *testing.T) {
+	c := diamond().TransitiveClosure()
+	good := Decomposition{{0, 1, 3}, {2}}
+	if err := ValidateDecomposition(c, good); err != nil {
+		t.Errorf("good decomposition rejected: %v", err)
+	}
+	bad := Decomposition{{0, 1}, {2, 1, 3}} // 1 twice, 3 missing from first
+	if err := ValidateDecomposition(c, bad); err == nil {
+		t.Error("overlapping decomposition accepted")
+	}
+	notChain := Decomposition{{1, 2}, {0}, {3}}
+	if err := ValidateDecomposition(c, notChain); err == nil {
+		t.Error("non-chain accepted")
+	}
+	short := Decomposition{{0, 1, 3}}
+	if err := ValidateDecomposition(c, short); err == nil {
+		t.Error("incomplete decomposition accepted")
+	}
+}
+
+func TestMaxAntichainBruteDiamond(t *testing.T) {
+	c := diamond().TransitiveClosure()
+	a := MaxAntichainBrute(c, nil)
+	if len(a) != 2 {
+		t.Errorf("width = %d, want 2 (antichain %v)", len(a), a)
+	}
+	if !IsAntichain(c, a) {
+		t.Errorf("%v is not an antichain", a)
+	}
+}
+
+func TestMaxAntichainBruteSubset(t *testing.T) {
+	c := diamond().TransitiveClosure()
+	a := MaxAntichainBrute(c, []int{0, 1, 3})
+	if len(a) != 1 {
+		t.Errorf("width of chain subset = %d, want 1", len(a))
+	}
+}
+
+func TestLongestChain(t *testing.T) {
+	r := diamond()
+	lc := LongestChain(r)
+	if len(lc) != 3 {
+		t.Errorf("LongestChain = %v, want length 3", lc)
+	}
+	if err := ValidateChain(r.TransitiveClosure(), lc); err != nil {
+		t.Errorf("LongestChain not a chain: %v", err)
+	}
+}
+
+// randomDAG builds a random DAG relation where i -> j only if i < j.
+func randomDAG(rng *rand.Rand, n int, p float64) *Relation {
+	r := NewRelation(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				r.Add(i, j)
+			}
+		}
+	}
+	return r
+}
+
+func TestClosureIsPartialOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		r := randomDAG(rng, 12, 0.3)
+		c := r.TransitiveClosure()
+		if err := c.IsStrictPartialOrder(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		red := r.TransitiveReduction()
+		if red.Pairs() > r.Pairs() {
+			t.Fatalf("trial %d: reduction grew", trial)
+		}
+		c2 := red.TransitiveClosure()
+		for a := 0; a < 12; a++ {
+			for b := 0; b < 12; b++ {
+				if c.Has(a, b) != c2.Has(a, b) {
+					t.Fatalf("trial %d: reduction changed closure", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestDilworthDualityProperty(t *testing.T) {
+	// width(P) * height-cover duality sanity: the longest chain length and
+	// the maximum antichain size both bound n: width*height >= n.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		r := randomDAG(rng, 10, 0.25)
+		c := r.TransitiveClosure()
+		width := len(MaxAntichainBrute(c, nil))
+		height := len(LongestChain(r))
+		if width*height < 10 {
+			t.Fatalf("trial %d: width %d * height %d < n", trial, width, height)
+		}
+	}
+}
+
+func TestBitSetQuickOrIdempotent(t *testing.T) {
+	f := func(xs []uint8) bool {
+		s := NewBitSet(256)
+		for _, x := range xs {
+			s.Set(int(x))
+		}
+		c := s.Clone()
+		c.Or(s)
+		return c.Count() == s.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

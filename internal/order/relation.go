@@ -1,0 +1,164 @@
+package order
+
+import "fmt"
+
+// Relation is a binary relation over {0..n-1}, stored as one bitset of
+// successors per element. For URSA it represents the strict partial orders
+// CanReuse_R and DAG reachability.
+type Relation struct {
+	rows []*BitSet
+	n    int
+}
+
+// NewRelation returns an empty relation over n elements.
+func NewRelation(n int) *Relation {
+	r := &Relation{rows: make([]*BitSet, n), n: n}
+	for i := range r.rows {
+		r.rows[i] = NewBitSet(n)
+	}
+	return r
+}
+
+// Size returns the number of elements of the ground set.
+func (r *Relation) Size() int { return r.n }
+
+// Add inserts the pair (a, b).
+func (r *Relation) Add(a, b int) { r.rows[a].Set(b) }
+
+// Remove deletes the pair (a, b).
+func (r *Relation) Remove(a, b int) { r.rows[a].Clear(b) }
+
+// Has reports whether (a, b) is in the relation.
+func (r *Relation) Has(a, b int) bool { return r.rows[a].Has(b) }
+
+// Row returns the successor set of a. The result aliases internal storage
+// and must not be mutated by callers.
+func (r *Relation) Row(a int) *BitSet { return r.rows[a] }
+
+// Pairs returns the number of pairs in the relation.
+func (r *Relation) Pairs() int {
+	c := 0
+	for _, row := range r.rows {
+		c += row.Count()
+	}
+	return c
+}
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.n)
+	for i, row := range r.rows {
+		c.rows[i].CopyFrom(row)
+	}
+	return c
+}
+
+// TransitiveClosure returns the transitive closure of r, computed row-wise
+// in reverse topological order when r is acyclic, falling back to iteration
+// to a fixed point otherwise. O(n²·n/64) for the acyclic case.
+func (r *Relation) TransitiveClosure() *Relation {
+	c := r.Clone()
+	if topo, ok := c.TopoOrder(); ok {
+		// Process in reverse topological order so each successor row is
+		// already complete when it is folded in.
+		for i := len(topo) - 1; i >= 0; i-- {
+			a := topo[i]
+			row := c.rows[a]
+			for _, b := range r.rows[a].Members() {
+				row.Or(c.rows[b])
+			}
+		}
+		return c
+	}
+	for changed := true; changed; {
+		changed = false
+		for a := 0; a < c.n; a++ {
+			row := c.rows[a]
+			for _, b := range row.Members() {
+				if row.Or(c.rows[b]) {
+					changed = true
+				}
+			}
+		}
+	}
+	return c
+}
+
+// TransitiveReduction returns the minimal relation with the same transitive
+// closure, assuming r is acyclic (a DAG). Edge (a,b) is redundant iff some
+// other successor c of a reaches b.
+func (r *Relation) TransitiveReduction() *Relation {
+	closure := r.TransitiveClosure()
+	red := r.Clone()
+	for a := 0; a < r.n; a++ {
+		succs := r.rows[a].Members()
+		for _, b := range succs {
+			for _, c := range succs {
+				if c != b && closure.Has(c, b) {
+					red.Remove(a, b)
+					break
+				}
+			}
+		}
+	}
+	return red
+}
+
+// TopoOrder returns a topological order of the relation viewed as a digraph,
+// and whether one exists (false means the relation has a cycle).
+func (r *Relation) TopoOrder() ([]int, bool) {
+	indeg := make([]int, r.n)
+	for a := 0; a < r.n; a++ {
+		r.rows[a].ForEach(func(b int) { indeg[b]++ })
+	}
+	queue := make([]int, 0, r.n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, r.n)
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		order = append(order, a)
+		r.rows[a].ForEach(func(b int) {
+			indeg[b]--
+			if indeg[b] == 0 {
+				queue = append(queue, b)
+			}
+		})
+	}
+	return order, len(order) == r.n
+}
+
+// IsAcyclic reports whether the relation, viewed as a digraph, has no cycle.
+func (r *Relation) IsAcyclic() bool {
+	_, ok := r.TopoOrder()
+	return ok
+}
+
+// IsStrictPartialOrder reports whether the relation is irreflexive and
+// transitive (and hence antisymmetric).
+func (r *Relation) IsStrictPartialOrder() error {
+	for a := 0; a < r.n; a++ {
+		if r.Has(a, a) {
+			return fmt.Errorf("order: relation is reflexive at %d", a)
+		}
+	}
+	for a := 0; a < r.n; a++ {
+		for _, b := range r.rows[a].Members() {
+			for _, c := range r.rows[b].Members() {
+				if !r.Has(a, c) {
+					return fmt.Errorf("order: relation not transitive: (%d,%d),(%d,%d) but not (%d,%d)", a, b, b, c, a, c)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Comparable reports whether a and b are related in either direction.
+func (r *Relation) Comparable(a, b int) bool {
+	return r.Has(a, b) || r.Has(b, a)
+}

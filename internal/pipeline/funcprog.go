@@ -1,0 +1,220 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"ursa/internal/assign"
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+	"ursa/internal/vliwsim"
+)
+
+// FuncProgram is a whole compiled function: one VLIW program per basic
+// block, executed by chaining block exits. Blocks drain completely before
+// control transfers (basic-block-scoped VLIW, the paper's compilation
+// unit).
+type FuncProgram struct {
+	Source  *ir.Func
+	Machine *machine.Config
+	Method  Method
+	Blocks  []*assign.Program // by layout order of Source.Blocks
+	labels  map[string]int
+}
+
+// CompileFunc compiles every basic block of the function through the
+// selected pipeline. The returned stats aggregate the static per-block
+// numbers (max register usage, total spill ops, total words).
+func CompileFunc(f *ir.Func, m *machine.Config, method Method, opts Options) (*FuncProgram, *Stats, error) {
+	fp := &FuncProgram{
+		Source:  f,
+		Machine: m,
+		Method:  method,
+		labels:  make(map[string]int, len(f.Blocks)),
+	}
+	agg := &Stats{Method: method, Machine: m.Name, URSAFits: true}
+	for i, b := range f.Blocks {
+		fp.labels[b.Label] = i
+		prog, st, err := Compile(b, m, method, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pipeline: block %s: %w", b.Label, err)
+		}
+		fp.Blocks = append(fp.Blocks, prog)
+		agg.Words += st.Words
+		agg.SpillOps += st.SpillOps
+		agg.URSATransforms += st.URSATransforms
+		if method == URSA && !st.URSAFits {
+			agg.URSAFits = false
+		}
+		for c := range st.RegsUsed {
+			if st.RegsUsed[c] > agg.RegsUsed[c] {
+				agg.RegsUsed[c] = st.RegsUsed[c]
+			}
+		}
+	}
+	return fp, agg, nil
+}
+
+// FuncResult reports a whole-function execution.
+type FuncResult struct {
+	Cycles   int
+	Issued   int
+	SpillOps int
+	State    *ir.State
+	BlockXct int // block executions
+}
+
+// Run executes the compiled function from its first block against a copy
+// of init, chaining block exits, until a return, a fall-off-the-end, or the
+// cycle budget is exhausted.
+func (fp *FuncProgram) Run(init *ir.State, maxCycles int) (*FuncResult, error) {
+	res := &FuncResult{State: init.Clone()}
+	cur := 0
+	for {
+		if cur >= len(fp.Blocks) {
+			return res, nil
+		}
+		r, err := vliwsim.Run(fp.Blocks[cur], res.State)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: block %s: %w", fp.Source.Blocks[cur].Label, err)
+		}
+		res.State = r.State
+		res.Cycles += r.Cycles
+		res.Issued += r.Issued
+		res.SpillOps += r.SpillOps
+		res.BlockXct++
+		if res.Cycles > maxCycles {
+			return nil, fmt.Errorf("pipeline: cycle budget exceeded (%d)", maxCycles)
+		}
+		switch r.Exit {
+		case "ret":
+			return res, nil
+		case "":
+			cur++
+		default:
+			next, ok := fp.labels[r.Exit]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: exit to unknown label %q", r.Exit)
+			}
+			cur = next
+		}
+	}
+}
+
+// EvaluateFunc compiles and executes the whole function, verifies its
+// memory effects against the sequential interpreter, and returns dynamic
+// statistics.
+func EvaluateFunc(f *ir.Func, m *machine.Config, method Method, init *ir.State, maxCycles int, opts Options) (*Stats, error) {
+	fp, st, err := CompileFunc(f, m, method, opts)
+	if err != nil {
+		return nil, err
+	}
+	ref := init.Clone()
+	if _, err := ref.Run(f, maxCycles*8+100000); err != nil {
+		return nil, fmt.Errorf("pipeline: reference: %w", err)
+	}
+	res, err := fp.Run(init, maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	if err := compareMem(ref, res.State); err != nil {
+		return nil, fmt.Errorf("pipeline %s on %s: %w", method, m.Name, err)
+	}
+	st.Verified = true
+	st.Cycles = res.Cycles
+	st.Issued = res.Issued
+	st.SpillOps = res.SpillOps // dynamic counts replace static ones
+	if res.Cycles > 0 {
+		st.Utilization = float64(res.Issued) / float64(res.Cycles)
+	}
+	return st, nil
+}
+
+func compareMem(ref, got *ir.State) error {
+	isSpill := func(sym string) bool {
+		return len(sym) >= 5 && sym[:5] == "spill"
+	}
+	for addr, want := range ref.Mem {
+		if isSpill(addr.Sym) {
+			continue
+		}
+		if g := got.Mem[addr]; g != want {
+			return fmt.Errorf("mem %s[%d] = %d, want %d", addr.Sym, addr.Off, g.Int(), want.Int())
+		}
+	}
+	for addr, g := range got.Mem {
+		if isSpill(addr.Sym) {
+			continue
+		}
+		if want := ref.Mem[addr]; g != want {
+			return fmt.Errorf("mem %s[%d] = %d, want %d", addr.Sym, addr.Off, g.Int(), want.Int())
+		}
+	}
+	return nil
+}
+
+// RunInOrder executes the compiled function like Run, but each block's
+// instructions issue in linear order on an in-order superscalar core with
+// interlocks (vliwsim.RunInOrder) rather than as VLIW words — the §6
+// superscalar target. The emitted *order* is what carries the scheduling
+// quality.
+func (fp *FuncProgram) RunInOrder(init *ir.State, maxCycles int) (*FuncResult, error) {
+	res := &FuncResult{State: init.Clone()}
+	cur := 0
+	for {
+		if cur >= len(fp.Blocks) {
+			return res, nil
+		}
+		r, err := vliwsim.RunInOrder(fp.Blocks[cur], res.State)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: block %s: %w", fp.Source.Blocks[cur].Label, err)
+		}
+		res.State = r.State
+		res.Cycles += r.Cycles
+		res.Issued += r.Issued
+		res.SpillOps += r.SpillOps
+		res.BlockXct++
+		if res.Cycles > maxCycles {
+			return nil, fmt.Errorf("pipeline: cycle budget exceeded (%d)", maxCycles)
+		}
+		switch r.Exit {
+		case "ret":
+			return res, nil
+		case "":
+			cur++
+		default:
+			next, ok := fp.labels[r.Exit]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: exit to unknown label %q", r.Exit)
+			}
+			cur = next
+		}
+	}
+}
+
+// EvaluateFuncInOrder compiles with the selected pipeline and executes on
+// the in-order superscalar model, verifying memory against the interpreter.
+func EvaluateFuncInOrder(f *ir.Func, m *machine.Config, method Method, init *ir.State, maxCycles int, opts Options) (*Stats, error) {
+	fp, st, err := CompileFunc(f, m, method, opts)
+	if err != nil {
+		return nil, err
+	}
+	ref := init.Clone()
+	if _, err := ref.Run(f, maxCycles*8+100000); err != nil {
+		return nil, fmt.Errorf("pipeline: reference: %w", err)
+	}
+	res, err := fp.RunInOrder(init, maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	if err := compareMem(ref, res.State); err != nil {
+		return nil, fmt.Errorf("pipeline %s (in-order) on %s: %w", method, m.Name, err)
+	}
+	st.Verified = true
+	st.Cycles = res.Cycles
+	st.Issued = res.Issued
+	st.SpillOps = res.SpillOps
+	if res.Cycles > 0 {
+		st.Utilization = float64(res.Issued) / float64(res.Cycles)
+	}
+	return st, nil
+}

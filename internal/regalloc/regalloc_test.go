@@ -1,0 +1,158 @@
+package regalloc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+)
+
+const paperSrc = `
+func paper {
+entry:
+	v = load V[0]
+	w = muli v, 2
+	x = muli v, 3
+	y = addi v, 5
+	t1 = add w, x
+	t2 = mul w, x
+	t3 = muli y, 2
+	t4 = divi y, 3
+	t5 = div t1, t2
+	t6 = add t3, t4
+	z = add t5, t6
+	store Z[0], z
+}
+`
+
+// runColored executes the colored block sequentially and returns the state.
+func runColored(t *testing.T, res *Result, init *ir.State) *ir.State {
+	t.Helper()
+	st := init.Clone()
+	for _, in := range res.Block.Instrs {
+		st.Exec(res.Block.Func, in)
+	}
+	return st
+}
+
+func TestColorNoSpillsWhenRoomy(t *testing.T) {
+	f := ir.MustParse(paperSrc)
+	res, err := Color(f.Blocks[0], machine.VLIW(4, 8), nil)
+	if err != nil {
+		t.Fatalf("Color: %v", err)
+	}
+	if res.Spills != 0 {
+		t.Errorf("spills = %d, want 0 with 8 registers", res.Spills)
+	}
+	if res.RegsUsed[ir.ClassInt] > 8 {
+		t.Errorf("used %d registers", res.RegsUsed[ir.ClassInt])
+	}
+	init := ir.NewState()
+	init.StoreInt("V", 0, 7)
+	st := runColored(t, res, init)
+	if got := st.Mem[ir.Addr{Sym: "Z", Off: 0}].Int(); got != 28 {
+		t.Errorf("Z[0] = %d, want 28", got)
+	}
+}
+
+func TestColorSequentialNeedsFewRegisters(t *testing.T) {
+	// In sequential order the paper example's maximum pressure is small;
+	// coloring with 3 registers must succeed without spills (sequential
+	// liveness, unlike the all-schedules worst case of 5).
+	f := ir.MustParse(paperSrc)
+	res, err := Color(f.Blocks[0], machine.VLIW(4, 4), nil)
+	if err != nil {
+		t.Fatalf("Color: %v", err)
+	}
+	if res.Spills != 0 {
+		t.Errorf("spills = %d with 4 registers (sequential pressure is 4)", res.Spills)
+	}
+}
+
+func TestColorSpillsWhenTight(t *testing.T) {
+	f := ir.MustParse(paperSrc)
+	res, err := Color(f.Blocks[0], machine.VLIW(4, 2), nil)
+	if err != nil {
+		t.Fatalf("Color: %v", err)
+	}
+	if res.Spills == 0 {
+		t.Error("no spills with 2 registers")
+	}
+	if res.RegsUsed[ir.ClassInt] > 2 {
+		t.Errorf("used %d registers, machine has 2", res.RegsUsed[ir.ClassInt])
+	}
+	init := ir.NewState()
+	init.StoreInt("V", 0, 7)
+	st := runColored(t, res, init)
+	if got := st.Mem[ir.Addr{Sym: "Z", Off: 0}].Int(); got != 28 {
+		t.Errorf("Z[0] = %d, want 28 after spilling", got)
+	}
+}
+
+func TestColorLiveOut(t *testing.T) {
+	f := ir.MustParse(`
+entry:
+	a = const 3
+	b = muli a, 7
+`)
+	lo := map[ir.VReg]bool{f.Reg("b"): true}
+	res, err := Color(f.Blocks[0], machine.VLIW(2, 4), lo)
+	if err != nil {
+		t.Fatalf("Color: %v", err)
+	}
+	phys, ok := res.OutMap[f.Reg("b")]
+	if !ok {
+		t.Fatal("no OutMap entry for b")
+	}
+	st := runColored(t, res, ir.NewState())
+	if got := st.Regs[phys].Int(); got != 21 {
+		t.Errorf("b (in %s) = %d, want 21", res.Block.Func.NameOf(phys), got)
+	}
+}
+
+func TestColorRandomSemanticsPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		f := ir.NewFunc("rand")
+		b := f.NewBlock("entry")
+		var vals []ir.VReg
+		n := 5 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			dst := f.NewReg(fmt.Sprintf("v%d", i), ir.ClassInt)
+			if len(vals) == 0 || rng.Intn(4) == 0 {
+				b.Append(&ir.Instr{Op: ir.Load, Dst: dst, Sym: "A", Off: int64(i % 6)})
+			} else {
+				a := vals[rng.Intn(len(vals))]
+				c := vals[rng.Intn(len(vals))]
+				b.Append(&ir.Instr{Op: ir.Add, Dst: dst, Args: []ir.VReg{a, c}})
+			}
+			vals = append(vals, dst)
+		}
+		b.Append(&ir.Instr{Op: ir.Store, Args: []ir.VReg{vals[len(vals)-1]}, Sym: "OUT"})
+
+		init := ir.NewState()
+		for i := int64(0); i < 6; i++ {
+			init.StoreInt("A", i, rng.Int63n(100))
+		}
+		ref := init.Clone()
+		for _, in := range b.Instrs {
+			ref.Exec(f, in)
+		}
+
+		k := 2 + rng.Intn(4)
+		res, err := Color(b, machine.VLIW(2, k), nil)
+		if err != nil {
+			t.Fatalf("trial %d (k=%d): %v", trial, k, err)
+		}
+		if res.RegsUsed[ir.ClassInt] > k {
+			t.Fatalf("trial %d: used %d of %d regs", trial, res.RegsUsed[ir.ClassInt], k)
+		}
+		st := runColored(t, res, init)
+		want := ref.Mem[ir.Addr{Sym: "OUT"}]
+		if got := st.Mem[ir.Addr{Sym: "OUT"}]; got != want {
+			t.Fatalf("trial %d (k=%d): OUT = %d, want %d", trial, k, got.Int(), want.Int())
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package reuse constructs the Reuse DAGs of paper §3: for each resource, a
+// strict partial order CanReuse_R over the resource-holding items, where
+// (a, b) ∈ CanReuse_R means no schedule can execute b while a's resource
+// instance is still in use. Minimum chain decompositions of these orders
+// yield the maximum resource requirements (Theorem 1 / Dilworth).
+//
+// Functional units: an FU is busy only while its instruction executes, so
+// CanReuse_FU is exactly DAG reachability restricted to the instructions
+// that run on that FU family (§3.2, non-pipelined machines).
+//
+// Registers: a register is busy from its defining instruction until the
+// value's killing use executes. URSA assumes no specific schedule, so the
+// kill is chosen to maximize worst-case requirements; choosing the kills is
+// NP-complete (Theorem 2, reduction from minimum cover), approximated here
+// by greedy minimum cover exactly as the paper prescribes.
+package reuse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ursa/internal/dag"
+	"ursa/internal/ir"
+	"ursa/internal/order"
+)
+
+// Item is one resource-holding entity.
+//
+// For a functional-unit resource an item is an instruction node. For a
+// register resource an item is a value: a region-defined value (Node = its
+// defining node) or a live-in value (Node = the graph root, Reg = the
+// incoming register).
+type Item struct {
+	Node int     // producer node id in the dependence DAG
+	Reg  ir.VReg // the value's register; NoReg for FU items
+}
+
+// Reuse is the reuse structure for one resource over one dependence DAG.
+type Reuse struct {
+	Graph *dag.Graph
+	Items []Item
+
+	// Rel is CanReuse_R over item indices (transitively closed).
+	Rel *order.Relation
+	// Reduced is Rel's transitive reduction: the Reuse_R DAG of Def. 4.
+	Reduced *order.Relation
+	// Kill maps item index -> killer node id in the graph (register
+	// resources only; -1 means killed at the leaf / live-out).
+	Kill []int
+
+	byNode map[int]int // producer node -> item index (first item per node)
+}
+
+// ItemIndexByNode returns the item produced at the given node, or -1. For
+// register resources the root node may produce several live-in items; the
+// lowest-indexed one is returned.
+func (r *Reuse) ItemIndexByNode(node int) int {
+	if i, ok := r.byNode[node]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumItems returns the number of resource-holding items.
+func (r *Reuse) NumItems() int { return len(r.Items) }
+
+// String summarizes the reuse structure.
+func (r *Reuse) String() string {
+	return fmt.Sprintf("reuse{%d items, %d pairs}", len(r.Items), r.Rel.Pairs())
+}
+
+// FU builds the Reuse DAG for a functional-unit family: the instructions
+// selected by member (e.g. all instructions on a homogeneous machine, or
+// only the memory ops for a load/store unit).
+func FU(g *dag.Graph, member func(*dag.Node) bool) *Reuse {
+	r := &Reuse{Graph: g, byNode: make(map[int]int)}
+	for _, n := range g.Nodes {
+		if n.IsPseudo() || !member(n) {
+			continue
+		}
+		r.byNode[n.ID] = len(r.Items)
+		r.Items = append(r.Items, Item{Node: n.ID})
+	}
+	reach := g.Reach()
+	r.Rel = order.NewRelation(len(r.Items))
+	for i, a := range r.Items {
+		row := reach.Row(a.Node)
+		for j, b := range r.Items {
+			if i != j && row.Has(b.Node) {
+				r.Rel.Add(i, j)
+			}
+		}
+	}
+	r.Reduced = r.Rel.TransitiveReduction()
+	return r
+}
+
+// AllFUs is the member predicate selecting every instruction: the paper's
+// homogeneous-FU model.
+func AllFUs(n *dag.Node) bool { return true }
+
+// KindFUs returns a member predicate selecting instructions of one
+// functional-unit kind.
+func KindFUs(k ir.Kind) func(*dag.Node) bool {
+	return func(n *dag.Node) bool { return n.Instr != nil && n.Instr.Kind() == k }
+}
+
+// Reg builds the Reuse DAG for the register class c. Items are the values
+// of that class: region-defined values plus live-in registers (produced at
+// the root, occupying a register from region entry until their kill).
+// Values in g.LiveOut are killed at the leaf and hence never reusable.
+func Reg(g *dag.Graph, c ir.Class) *Reuse {
+	f := g.Func
+	r := &Reuse{Graph: g, byNode: make(map[int]int)}
+
+	// Region-defined values.
+	defItem := make(map[ir.VReg]int)
+	for _, n := range g.Nodes {
+		if n.Instr == nil || n.Instr.Dst == ir.NoReg {
+			continue
+		}
+		if f.ClassOf(n.Instr.Dst) != c {
+			continue
+		}
+		idx := len(r.Items)
+		r.Items = append(r.Items, Item{Node: n.ID, Reg: n.Instr.Dst})
+		defItem[n.Instr.Dst] = idx
+		if _, ok := r.byNode[n.ID]; !ok {
+			r.byNode[n.ID] = idx
+		}
+	}
+	// Live-in values: used but not defined in the region.
+	liveIn := make(map[ir.VReg]bool)
+	for _, n := range g.Nodes {
+		if n.Instr == nil {
+			continue
+		}
+		for _, u := range n.Instr.Uses() {
+			if _, defined := defItem[u]; !defined && f.ClassOf(u) == c {
+				liveIn[u] = true
+			}
+		}
+	}
+	liveInRegs := make([]ir.VReg, 0, len(liveIn))
+	for v := range liveIn {
+		liveInRegs = append(liveInRegs, v)
+	}
+	sort.Slice(liveInRegs, func(i, j int) bool { return liveInRegs[i] < liveInRegs[j] })
+	for _, v := range liveInRegs {
+		idx := len(r.Items)
+		r.Items = append(r.Items, Item{Node: g.Root, Reg: v})
+		defItem[v] = idx
+		if _, ok := r.byNode[g.Root]; !ok {
+			r.byNode[g.Root] = idx
+		}
+	}
+
+	reach := g.Reach()
+	r.Kill = SelectKills(g, r.Items, reach)
+
+	// CanReuse_Reg: (a, b) iff Kill(a) == producer(b) or Kill(a) reaches
+	// producer(b). Killed-at-leaf values relate to nothing.
+	r.Rel = order.NewRelation(len(r.Items))
+	for i := range r.Items {
+		k := r.Kill[i]
+		if k < 0 {
+			continue
+		}
+		for j, b := range r.Items {
+			if i == j {
+				continue
+			}
+			if k == b.Node || reach.Has(k, b.Node) {
+				r.Rel.Add(i, j)
+			}
+		}
+	}
+	r.Reduced = r.Rel.TransitiveReduction()
+	return r
+}
+
+// SelectKills chooses, for every value item, the use node assumed to kill it
+// under the worst-case schedule. Candidates are the value's maximal uses
+// (uses with no other use of the same value downstream); live-out values and
+// values with no uses are killed at the leaf (-1). Kills are chosen by
+// greedy minimum cover — pick the node that kills the most still-unkilled
+// values — maximizing the number of dependents that can be simultaneously
+// live with their ancestors (paper §3.2). Ties prefer deeper nodes, then
+// lower node ids, keeping results deterministic.
+func SelectKills(g *dag.Graph, items []Item, reach *order.Relation) []int {
+	kill := make([]int, len(items))
+	cands := make([][]int, len(items)) // per item: candidate killer nodes
+	candOf := make(map[int][]int)      // killer node -> item indices it can kill
+
+	for i, it := range items {
+		kill[i] = -1
+		if g.LiveOut[it.Reg] {
+			continue // dies at leaf by definition
+		}
+		uses := g.UseNodes(it.Reg)
+		var maximal []int
+		for _, u := range uses {
+			isMax := true
+			for _, w := range uses {
+				if w != u && reach.Has(u, w) {
+					isMax = false
+					break
+				}
+			}
+			if isMax {
+				maximal = append(maximal, u)
+			}
+		}
+		if len(maximal) == 0 {
+			continue // no uses: holds its register to the leaf
+		}
+		cands[i] = maximal
+		for _, u := range maximal {
+			candOf[u] = append(candOf[u], i)
+		}
+	}
+
+	depth := g.Depths()
+	remaining := make(map[int]bool)
+	for i := range items {
+		if len(cands[i]) > 0 {
+			remaining[i] = true
+		}
+	}
+	for len(remaining) > 0 {
+		// Pick the candidate killer covering the most remaining values.
+		best, bestCover := -1, -1
+		for u, is := range candOf {
+			cover := 0
+			for _, i := range is {
+				if remaining[i] {
+					cover++
+				}
+			}
+			if cover == 0 {
+				continue
+			}
+			if cover > bestCover ||
+				(cover == bestCover && (depth[u] > depth[best] ||
+					(depth[u] == depth[best] && u < best))) {
+				best, bestCover = u, cover
+			}
+		}
+		if best == -1 {
+			break
+		}
+		for _, i := range candOf[best] {
+			if remaining[i] {
+				kill[i] = best
+				delete(remaining, i)
+			}
+		}
+		delete(candOf, best)
+	}
+	return kill
+}
+
+// Dot renders the Reuse DAG (the transitive reduction of CanReuse, Def. 4)
+// in Graphviz format: one node per resource-holding item, labelled with its
+// producer, one edge per reuse pair.
+func (r *Reuse) Dot(title string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", title)
+	sb.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	f := r.Graph.Func
+	for i, it := range r.Items {
+		label := r.Graph.Nodes[it.Node].Name
+		if it.Reg != ir.NoReg {
+			label = f.NameOf(it.Reg)
+			if it.Node == r.Graph.Root {
+				label += " (live-in)"
+			}
+		}
+		if r.Kill != nil && r.Kill[i] >= 0 {
+			label += fmt.Sprintf("\\nkill: %s", r.Graph.Nodes[r.Kill[i]].Name)
+		}
+		fmt.Fprintf(&sb, "  i%d [label=\"%s\"];\n", i, label)
+	}
+	for a := 0; a < r.NumItems(); a++ {
+		r.Reduced.Row(a).ForEach(func(b int) {
+			fmt.Fprintf(&sb, "  i%d -> i%d;\n", a, b)
+		})
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

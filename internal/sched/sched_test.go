@@ -1,0 +1,271 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ursa/internal/dag"
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+)
+
+const paperSrc = `
+func paper {
+entry:
+	v = load V[0]
+	w = muli v, 2
+	x = muli v, 3
+	y = addi v, 5
+	t1 = add w, x
+	t2 = mul w, x
+	t3 = muli y, 2
+	t4 = divi y, 3
+	t5 = div t1, t2
+	t6 = add t3, t4
+	z = add t5, t6
+}
+`
+
+func paperGraph(t testing.TB) *dag.Graph {
+	t.Helper()
+	f := ir.MustParse(paperSrc)
+	g, err := dag.Build(f.Blocks[0])
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestListWideMachineReachesCriticalPath(t *testing.T) {
+	g := paperGraph(t)
+	s, err := List(g, machine.VLIW(8, 32), Options{})
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Critical path A-B-E-I-K = 5 cycles at unit latency.
+	if s.Cycles != 5 {
+		t.Errorf("makespan = %d, want 5", s.Cycles)
+	}
+	if got := len(s.Placements); got != 11 {
+		t.Errorf("%d placements, want 11", got)
+	}
+}
+
+func TestListSingleUnitSerializes(t *testing.T) {
+	g := paperGraph(t)
+	s, err := List(g, machine.VLIW(1, 32), Options{})
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.Cycles != 11 {
+		t.Errorf("makespan = %d, want 11 (one instruction per cycle)", s.Cycles)
+	}
+	if s.MaxIssueWidth() != 1 {
+		t.Errorf("issue width = %d, want 1", s.MaxIssueWidth())
+	}
+}
+
+func TestListRespectsWidth(t *testing.T) {
+	g := paperGraph(t)
+	for width := 1; width <= 4; width++ {
+		s, err := List(g, machine.VLIW(width, 32), Options{})
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if got := s.MaxIssueWidth(); got > width {
+			t.Errorf("width %d machine issued %d", width, got)
+		}
+	}
+}
+
+func TestListLatencies(t *testing.T) {
+	g := paperGraph(t)
+	m := machine.VLIW(8, 32)
+	m.Latency = machine.RealisticLatency
+	s, err := List(g, m, Options{})
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Critical path with latencies: A(load,2) B(mul,2) F(mul,2) I(div,4)
+	// K(add,1) = 11, or via E(add,1)... the heaviest chain is 11.
+	if s.Cycles < 11 {
+		t.Errorf("makespan = %d, want >= 11 with realistic latencies", s.Cycles)
+	}
+}
+
+func TestHeterogeneousClasses(t *testing.T) {
+	f := ir.MustParse(`
+entry:
+	a = load A[0]
+	b = load A[1]
+	c = add a, b
+	x = constf 1.5
+	y = fmuli x, 2
+	store O[0], c
+	storef P[0], y
+`)
+	g, err := dag.Build(f.Blocks[0])
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := machine.Heterogeneous(1, 1, 1, 1, 8, 8)
+	s, err := List(g, m, Options{})
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Only one MEM unit: the four memory ops must be on distinct cycles.
+	memCycles := map[int]bool{}
+	for _, p := range s.Placements {
+		if p.Class == machine.MEM {
+			if memCycles[p.Cycle] {
+				t.Errorf("two memory ops in cycle %d with one MEM unit", p.Cycle)
+			}
+			memCycles[p.Cycle] = true
+		}
+	}
+}
+
+func TestRegisterSensitiveSchedulingLowersPressure(t *testing.T) {
+	g := paperGraph(t)
+	m := machine.VLIW(4, 32)
+	plain, err := List(g, m, Options{})
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	limited, err := List(g, m, Options{RegLimit: 4, RegClass: ir.ClassInt})
+	if err != nil {
+		t.Fatalf("limited: %v", err)
+	}
+	if err := limited.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	pp, lp := plain.Pressure(ir.ClassInt), limited.Pressure(ir.ClassInt)
+	if lp > pp {
+		t.Errorf("register-sensitive pressure %d > plain %d", lp, pp)
+	}
+	if lp > 4+1 { // the GoH88-style fallback may exceed by one pick
+		t.Errorf("register-sensitive pressure %d, want near 4", lp)
+	}
+}
+
+func TestPressureMatchesWidthBound(t *testing.T) {
+	// Any schedule's pressure is bounded by the measured worst case (5
+	// registers for the paper example).
+	g := paperGraph(t)
+	for width := 1; width <= 8; width++ {
+		s, err := List(g, machine.VLIW(width, 32), Options{})
+		if err != nil {
+			t.Fatalf("List: %v", err)
+		}
+		if p := s.Pressure(ir.ClassInt); p > 5 {
+			t.Errorf("width %d: pressure %d exceeds measured worst case 5", width, p)
+		}
+	}
+}
+
+func TestListRandomValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		f := ir.NewFunc("rand")
+		b := f.NewBlock("entry")
+		var vals []ir.VReg
+		n := 5 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			dst := f.NewReg(fmt.Sprintf("v%d", i), ir.ClassInt)
+			if len(vals) == 0 || rng.Intn(4) == 0 {
+				b.Append(&ir.Instr{Op: ir.Load, Dst: dst, Sym: "A", Off: int64(i)})
+			} else {
+				a := vals[rng.Intn(len(vals))]
+				c := vals[rng.Intn(len(vals))]
+				b.Append(&ir.Instr{Op: ir.Add, Dst: dst, Args: []ir.VReg{a, c}})
+			}
+			vals = append(vals, dst)
+		}
+		g, err := dag.Build(b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		m := machine.VLIW(1+rng.Intn(4), 64)
+		if rng.Intn(2) == 0 {
+			m.Latency = machine.RealisticLatency
+		}
+		s, err := List(g, m, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(s.Placements) != n {
+			t.Fatalf("trial %d: scheduled %d of %d", trial, len(s.Placements), n)
+		}
+	}
+}
+
+func TestPipelinedUnitsOverlap(t *testing.T) {
+	// A chainable workload: 4 independent multiplies on 1 unit. With
+	// latency 2 non-pipelined the unit serializes at 2 cycles each; with
+	// pipelining it issues every cycle.
+	f := ir.MustParse(`
+entry:
+	a = load A[0]
+	m1 = muli a, 2
+	m2 = muli a, 3
+	m3 = muli a, 4
+	m4 = muli a, 5
+	store O[0], m1
+	store O[1], m2
+	store O[2], m3
+	store O[3], m4
+`)
+	g, err := dag.Build(f.Blocks[0])
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	nonpipe := machine.VLIW(1, 16)
+	nonpipe.Latency = machine.RealisticLatency
+	s1, err := List(g, nonpipe, Options{})
+	if err != nil {
+		t.Fatalf("non-pipelined: %v", err)
+	}
+	if err := s1.Validate(); err != nil {
+		t.Fatalf("non-pipelined validate: %v", err)
+	}
+	pipe := machine.VLIW(1, 16)
+	pipe.Latency = machine.RealisticLatency
+	pipe.Pipelined = true
+	s2, err := List(g, pipe, Options{})
+	if err != nil {
+		t.Fatalf("pipelined: %v", err)
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("pipelined validate: %v", err)
+	}
+	if s2.Cycles >= s1.Cycles {
+		t.Errorf("pipelined makespan %d not shorter than non-pipelined %d", s2.Cycles, s1.Cycles)
+	}
+	// Dependences still wait full latency: consumer of a load (lat 2)
+	// issues no earlier than load cycle+2.
+	a := g.DefNode(f.Reg("a"))
+	m1 := g.DefNode(f.Reg("m1"))
+	pa, pm := s2.PlacementOf(a), s2.PlacementOf(m1)
+	if pm.Cycle < pa.Cycle+2 {
+		t.Errorf("pipelined schedule violated latency: load@%d mul@%d", pa.Cycle, pm.Cycle)
+	}
+}

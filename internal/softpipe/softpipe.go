@@ -1,0 +1,94 @@
+// Package softpipe implements the paper's future-work extension (§6):
+// combining loop unrolling with URSA's unified allocation yields a
+// resource-constrained software pipelining technique. Unrolling widens the
+// loop body's dependence DAG, exposing inter-iteration parallelism; URSA
+// then sequences or spills exactly enough of it to fit the machine, so the
+// kernel approaches the machine's issue limit without ever exceeding its
+// registers.
+package softpipe
+
+import (
+	"fmt"
+
+	"ursa/internal/frontend"
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+	"ursa/internal/pipeline"
+)
+
+// Point is the outcome at one unroll factor.
+type Point struct {
+	Unroll        int
+	TotalCycles   int
+	CyclesPerIter float64
+	SpillOps      int
+	Utilization   float64
+	URSAFits      bool
+}
+
+// Result is a sweep over unroll factors for one kernel on one machine.
+type Result struct {
+	Name    string
+	Machine string
+	Method  pipeline.Method
+	Iters   int
+	Points  []Point
+}
+
+// Best returns the point with the fewest cycles per iteration.
+func (r *Result) Best() Point {
+	best := r.Points[0]
+	for _, p := range r.Points[1:] {
+		if p.CyclesPerIter < best.CyclesPerIter {
+			best = p
+		}
+	}
+	return best
+}
+
+// Sweep compiles the kernel source at each unroll factor with the given
+// pipeline, runs it to completion, verifies it, and reports cycles per
+// original loop iteration. iters is the kernel's total trip count (the
+// denominator); init must provide the kernel's inputs and is reused
+// (copied) per run.
+func Sweep(name, src string, iters int, init *ir.State, m *machine.Config,
+	method pipeline.Method, factors []int) (*Result, error) {
+
+	if iters <= 0 {
+		return nil, fmt.Errorf("softpipe: iters must be positive")
+	}
+	res := &Result{Name: name, Machine: m.Name, Method: method, Iters: iters}
+	for _, k := range factors {
+		u, err := frontend.Compile(src, frontend.Options{Unroll: k})
+		if err != nil {
+			return nil, fmt.Errorf("softpipe: unroll %d: %w", k, err)
+		}
+		st, err := pipeline.EvaluateFunc(u.Func, m, method, init.Clone(), 50_000_000, pipeline.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("softpipe: unroll %d: %w", k, err)
+		}
+		res.Points = append(res.Points, Point{
+			Unroll:        k,
+			TotalCycles:   st.Cycles,
+			CyclesPerIter: float64(st.Cycles) / float64(iters),
+			SpillOps:      st.SpillOps,
+			Utilization:   st.Utilization,
+			URSAFits:      st.URSAFits,
+		})
+	}
+	return res, nil
+}
+
+// Rows renders the sweep as table rows: unroll, cycles, cycles/iter,
+// spills, utilization.
+func (r *Result) Rows() []string {
+	out := make([]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		out = append(out, fmt.Sprintf("%-10s %-12s %-16s %6d %9d %10.2f %7d %7.2f",
+			r.Name, r.Machine, r.Method, p.Unroll, p.TotalCycles, p.CyclesPerIter, p.SpillOps, p.Utilization))
+	}
+	return out
+}
+
+// RowHeader matches Rows.
+const RowHeader = "kernel     machine      method           unroll    cycles  cyc/iter  spills     util"

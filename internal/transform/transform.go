@@ -1,0 +1,168 @@
+// Package transform implements URSA's resource-requirement reduction
+// transformations (paper §4): functional-unit sequentialization, register
+// sequentialization, and spill insertion. All three operate on the same
+// dependence DAG, so the driver can apply them in any order or in an
+// integrated manner (§5).
+//
+// Candidate generation is heuristic, exactly as in the paper; the driver
+// tentatively applies each candidate, re-measures the transformed DAG, and
+// commits the candidate with the best combination of requirement reduction
+// and critical-path impact.
+package transform
+
+import (
+	"fmt"
+
+	"ursa/internal/dag"
+	"ursa/internal/ir"
+)
+
+// Kind identifies a transformation family.
+type Kind uint8
+
+// Transformation kinds.
+const (
+	FUSequence  Kind = iota // §4.1: sequence independent instructions
+	RegSequence             // §4.2: stage the hammock to shorten live ranges
+	Spill                   // §4.3: store a value, reload when pressure drops
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case FUSequence:
+		return "fu-seq"
+	case RegSequence:
+		return "reg-seq"
+	case Spill:
+		return "spill"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// A Candidate is one concrete applicable transformation.
+type Candidate struct {
+	Kind  Kind
+	Edges [][2]int   // sequentialization edges to add (from, to)
+	Spill *SpillSpec // spill payload, for Kind == Spill
+	Note  string     // human-readable description for traces
+}
+
+// SpillSpec describes a spill-insertion transformation: the value defined at
+// Def is stored right after its definition, the store is sequenced before
+// the PreRoots (SD1's roots, so the register is free while SD1 runs), and
+// the reload is sequenced after the Barrier nodes (SD1's leaves). Uses of
+// the value that can legally wait are rewired to the reloaded copy.
+type SpillSpec struct {
+	Reg      ir.VReg
+	Def      int
+	Barrier  []int
+	PreRoots []int
+}
+
+// String renders the candidate for traces.
+func (c *Candidate) String() string {
+	if c.Note != "" {
+		return fmt.Sprintf("%s(%s)", c.Kind, c.Note)
+	}
+	return c.Kind.String()
+}
+
+// Apply mutates the graph. It returns an error (leaving the graph in a
+// valid, possibly partially-extended state only on the error paths noted
+// below) if the candidate is inapplicable: an edge would create a cycle, or
+// a spill would rewire no uses. Callers that must not observe partial
+// application should apply to a clone first — the driver's
+// tentative-apply-and-score loop does exactly that.
+func (c *Candidate) Apply(g *dag.Graph) error {
+	for _, e := range c.Edges {
+		if g.HasEdge(e[0], e[1]) {
+			continue
+		}
+		if g.HasPath(e[1], e[0]) {
+			return fmt.Errorf("transform %s: edge %d->%d would create a cycle", c.Kind, e[0], e[1])
+		}
+		g.AddEdge(e[0], e[1], dag.EdgeSeq)
+	}
+	if c.Spill != nil {
+		if err := applySpill(g, c.Spill); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func applySpill(g *dag.Graph, sp *SpillSpec) error {
+	f := g.Func
+	name := f.NameOf(sp.Reg)
+	class := f.ClassOf(sp.Reg)
+	slot := "spill." + name
+
+	if g.LiveOut[sp.Reg] {
+		return fmt.Errorf("transform spill: %s is live-out", name)
+	}
+	defNode := g.Nodes[sp.Def]
+	if defNode.Instr == nil || defNode.Instr.Dst != sp.Reg {
+		return fmt.Errorf("transform spill: node %d does not define %s", sp.Def, name)
+	}
+
+	uses := g.UseNodes(sp.Reg)
+	if len(uses) == 0 {
+		return fmt.Errorf("transform spill: %s has no uses", name)
+	}
+
+	// Insert the store and load nodes.
+	st := g.AddInstr(&ir.Instr{Op: ir.SpillStore, Args: []ir.VReg{sp.Reg}, Sym: slot})
+	nv := f.NewReg(name+".r", class)
+	ld := g.AddInstr(&ir.Instr{Op: ir.SpillLoad, Dst: nv, Sym: slot})
+	g.AddEdge(sp.Def, st, dag.EdgeData)
+	g.AddEdge(st, ld, dag.EdgeMem)
+
+	// The reload waits for SD1 to finish.
+	for _, b := range sp.Barrier {
+		if b == ld || g.HasPath(ld, b) {
+			continue
+		}
+		g.AddEdge(b, ld, dag.EdgeSeq)
+	}
+	// The store happens before SD1 starts, freeing the register. Roots
+	// that are ancestors of the definition cannot be sequenced after it.
+	for _, r := range sp.PreRoots {
+		if r == st || g.HasPath(r, sp.Def) || g.HasPath(r, st) {
+			continue
+		}
+		g.AddEdge(st, r, dag.EdgeSeq)
+	}
+
+	// Rewire every use that can legally wait for the reload.
+	rewired := 0
+	for _, u := range uses {
+		if u == st || g.HasPath(u, ld) {
+			continue
+		}
+		in := g.Nodes[u].Instr
+		for i, a := range in.Args {
+			if a == sp.Reg {
+				in.Args[i] = nv
+			}
+		}
+		if in.Index == sp.Reg {
+			in.Index = nv
+		}
+		g.RemoveEdge(sp.Def, u)
+		g.AddEdge(ld, u, dag.EdgeData)
+		rewired++
+	}
+	if rewired == 0 {
+		// Nothing could be delayed: undo the dangling store/load by wiring
+		// them straight to the leaf so the graph stays valid, and report
+		// failure so the driver discards this candidate.
+		g.AddEdge(ld, g.Leaf, dag.EdgeSeq)
+		return fmt.Errorf("transform spill: no use of %s can be delayed", name)
+	}
+	// Keep the hammock property for the new nodes.
+	if len(g.Succs(ld)) == 0 {
+		g.AddEdge(ld, g.Leaf, dag.EdgeSeq)
+	}
+	return nil
+}

@@ -1,0 +1,468 @@
+// Package workload provides the evaluation inputs: the paper's worked
+// example (Figure 2), a suite of loop kernels in the frontend language
+// (the fine-grained-parallel codes VLIW compilers of the era targeted), and
+// seeded random DAG generators for scaling and property tests.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ursa/internal/dag"
+	"ursa/internal/frontend"
+	"ursa/internal/ir"
+)
+
+// PaperExample returns the basic block of Figure 2 (nodes A..K). With
+// store=true the final value is consumed by a store (a closed region ready
+// for the pipelines); with store=false the block matches the figure exactly
+// and z is live-out.
+func PaperExample(store bool) *ir.Func {
+	src := `
+func paper {
+entry:
+	v = load V[0]
+	w = muli v, 2
+	x = muli v, 3
+	y = addi v, 5
+	t1 = add w, x
+	t2 = mul w, x
+	t3 = muli y, 2
+	t4 = divi y, 3
+	t5 = div t1, t2
+	t6 = add t3, t4
+	z = add t5, t6
+`
+	if store {
+		src += "\tstore Z[0], z\n"
+	}
+	return ir.MustParse(src + "}\n")
+}
+
+// PaperInit returns the canonical input state for the paper example
+// (V[0] = 7, for which Z[0] must come out 28).
+func PaperInit() *ir.State {
+	st := ir.NewState()
+	st.StoreInt("V", 0, 7)
+	return st
+}
+
+// A Kernel is a named benchmark program.
+type Kernel struct {
+	Name   string
+	Source string
+	// N is the problem size baked into the source.
+	N int
+	// Init fills the input arrays of a state deterministically from seed.
+	Init func(st *ir.State, seed int64)
+	// FP marks kernels exercising the floating-point register class.
+	FP bool
+}
+
+// Unit compiles the kernel with the given unroll factor.
+func (k *Kernel) Unit(unroll int) (*frontend.Unit, error) {
+	return frontend.Compile(k.Source, frontend.Options{Unroll: unroll})
+}
+
+// State returns an initialized input state.
+func (k *Kernel) State(seed int64) *ir.State {
+	st := ir.NewState()
+	if k.Init != nil {
+		k.Init(st, seed)
+	}
+	return st
+}
+
+func fillInt(st *ir.State, sym string, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		st.StoreInt(sym, int64(i), rng.Int63n(1000)-500)
+	}
+}
+
+func fillFloat(st *ir.State, sym string, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		st.StoreFloat(sym, int64(i), rng.Float64()*10-5)
+	}
+}
+
+// Kernels returns the benchmark suite. Every kernel is a closed program:
+// inputs come from arrays, results go to arrays.
+func Kernels() []*Kernel {
+	return []*Kernel{
+		{
+			Name: "fir8",
+			N:    64,
+			Source: `
+func fir8 {
+	float x[]; float h[]; float y[];
+	for i = 0 to 64 {
+		y[i] = x[i]*h[0] + x[i+1]*h[1] + x[i+2]*h[2] + x[i+3]*h[3]
+		     + x[i+4]*h[4] + x[i+5]*h[5] + x[i+6]*h[6] + x[i+7]*h[7];
+	}
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillFloat(st, "x", 72, seed)
+				fillFloat(st, "h", 8, seed+1)
+			},
+			FP: true,
+		},
+		{
+			Name: "dot",
+			N:    64,
+			Source: `
+func dot {
+	float a[]; float b[];
+	var sum = 0.0;
+	for i = 0 to 64 { sum = sum + a[i]*b[i]; }
+	out[0] = sum;
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillFloat(st, "a", 64, seed)
+				fillFloat(st, "b", 64, seed+1)
+			},
+			FP: true,
+		},
+		{
+			Name: "saxpy",
+			N:    64,
+			Source: `
+func saxpy {
+	float x[]; float y[]; float a[];
+	for i = 0 to 64 { y[i] = a[0]*x[i] + y[i]; }
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillFloat(st, "x", 64, seed)
+				fillFloat(st, "y", 64, seed+1)
+				fillFloat(st, "a", 1, seed+2)
+			},
+			FP: true,
+		},
+		{
+			Name: "hydro",
+			N:    64,
+			// Livermore loop 1 (hydro fragment).
+			Source: `
+func hydro {
+	float x[]; float y[]; float z[]; float c[];
+	for k = 0 to 64 {
+		x[k] = c[0] + y[k]*(c[1]*z[k+10] + c[2]*z[k+11]);
+	}
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillFloat(st, "y", 64, seed)
+				fillFloat(st, "z", 80, seed+1)
+				fillFloat(st, "c", 3, seed+2)
+			},
+			FP: true,
+		},
+		{
+			Name: "tridiag",
+			N:    64,
+			// Livermore loop 5 flavour (tri-diagonal elimination, forward
+			// dependence kept in memory).
+			Source: `
+func tridiag {
+	float x[]; float y[]; float z[];
+	for i = 1 to 64 { x[i] = z[i]*(y[i] - x[i-1]); }
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillFloat(st, "x", 64, seed)
+				fillFloat(st, "y", 64, seed+1)
+				fillFloat(st, "z", 64, seed+2)
+			},
+			FP: true,
+		},
+		{
+			Name: "matmul4",
+			N:    4,
+			Source: `
+func matmul4 {
+	for i = 0 to 4 {
+		for j = 0 to 4 {
+			var s = 0;
+			for k = 0 to 4 { s = s + a[i*4+k] * b[k*4+j]; }
+			c[i*4+j] = s;
+		}
+	}
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillInt(st, "a", 16, seed)
+				fillInt(st, "b", 16, seed+1)
+			},
+		},
+		{
+			Name: "poly",
+			N:    64,
+			// Degree-7 polynomial, expanded (not Horner) so the block has
+			// real ILP and register pressure.
+			Source: `
+func poly {
+	for i = 0 to 64 {
+		var x = v[i];
+		var x2 = x*x;
+		var x3 = x2*x;
+		var x4 = x2*x2;
+		var x5 = x4*x;
+		var x6 = x3*x3;
+		var x7 = x6*x;
+		p[i] = 7*x7 + 6*x6 + 5*x5 + 4*x4 + 3*x3 + 2*x2 + x + 1;
+	}
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillInt(st, "v", 64, seed)
+			},
+		},
+		{
+			Name: "fft2",
+			N:    32,
+			// Radix-2 butterfly sweep over interleaved re/im pairs.
+			Source: `
+func fft2 {
+	float re[]; float im[]; float w[];
+	for i = 0 to 32 {
+		var tr = re[i+32]*w[0] - im[i+32]*w[1];
+		var ti = re[i+32]*w[1] + im[i+32]*w[0];
+		re[i+32] = re[i] - tr;
+		im[i+32] = im[i] - ti;
+		re[i] = re[i] + tr;
+		im[i] = im[i] + ti;
+	}
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillFloat(st, "re", 64, seed)
+				fillFloat(st, "im", 64, seed+1)
+				fillFloat(st, "w", 2, seed+2)
+			},
+			FP: true,
+		},
+		{
+			Name: "stencil3",
+			N:    64,
+			Source: `
+func stencil3 {
+	for i = 1 to 63 { o[i] = (g[i-1] + 2*g[i] + g[i+1]) / 4; }
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillInt(st, "g", 64, seed)
+			},
+		},
+		{
+			Name: "cmul",
+			N:    32,
+			// Complex vector multiply over interleaved re/im pairs.
+			Source: `
+func cmul {
+	float ar[]; float ai[]; float br[]; float bi[];
+	float cr[]; float ci[];
+	for i = 0 to 32 {
+		cr[i] = ar[i]*br[i] - ai[i]*bi[i];
+		ci[i] = ar[i]*bi[i] + ai[i]*br[i];
+	}
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillFloat(st, "ar", 32, seed)
+				fillFloat(st, "ai", 32, seed+1)
+				fillFloat(st, "br", 32, seed+2)
+				fillFloat(st, "bi", 32, seed+3)
+			},
+			FP: true,
+		},
+		{
+			Name: "state",
+			N:    32,
+			// Livermore loop 7 flavour: equation of state fragment, deep
+			// expression with high ILP and FP pressure.
+			Source: `
+func state {
+	float u[]; float z[]; float y[]; float x[]; float q[];
+	for k = 0 to 32 {
+		x[k] = u[k] + q[0]*(z[k] + q[1]*y[k])
+		     + q[2]*(u[k+3] + q[3]*(u[k+2] + q[4]*u[k+1]))
+		     + q[5]*(u[k+6] + q[0]*(u[k+5] + q[1]*u[k+4]));
+	}
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillFloat(st, "u", 40, seed)
+				fillFloat(st, "z", 32, seed+1)
+				fillFloat(st, "y", 32, seed+2)
+				fillFloat(st, "q", 6, seed+3)
+			},
+			FP: true,
+		},
+		{
+			Name: "transpose4",
+			N:    4,
+			Source: `
+func transpose4 {
+	for i = 0 to 4 {
+		for j = 0 to 4 { tb[j*4+i] = ta[i*4+j]; }
+	}
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillInt(st, "ta", 16, seed)
+			},
+		},
+		{
+			Name: "horner",
+			N:    64,
+			// Horner evaluation: a fully serial dependence chain — the
+			// anti-poly. Exposes the no-parallelism end of the spectrum.
+			Source: `
+func horner {
+	for i = 0 to 64 {
+		var x = v[i];
+		var acc = 7;
+		acc = acc*x + 6;
+		acc = acc*x + 5;
+		acc = acc*x + 4;
+		acc = acc*x + 3;
+		acc = acc*x + 2;
+		acc = acc*x + 1;
+		p[i] = acc;
+	}
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillInt(st, "v", 64, seed)
+			},
+		},
+		{
+			Name: "prefix",
+			N:    64,
+			// Serial prefix sum through memory: the loop-carried dependence
+			// limits every pipeline equally.
+			Source: `
+func prefix {
+	for i = 1 to 64 { ps[i] = ps[i-1] + g[i]; }
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillInt(st, "g", 64, seed)
+				fillInt(st, "ps", 64, seed+1)
+			},
+		},
+		{
+			Name: "maxloc",
+			N:    64,
+			// Data-dependent control flow: trace selection material.
+			Source: `
+func maxloc {
+	var best = m[0];
+	var loc = 0;
+	for i = 1 to 64 {
+		if (m[i] > best) { best = m[i]; loc = i; }
+	}
+	out[0] = best;
+	out[1] = loc;
+}`,
+			Init: func(st *ir.State, seed int64) {
+				fillInt(st, "m", 64, seed)
+			},
+		},
+	}
+}
+
+// KernelByName returns the named kernel or nil.
+func KernelByName(name string) *Kernel {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+// RandomBlock generates a seeded random straight-line closed block with n
+// value-producing instructions: loads, immediate ops and binary ALU ops,
+// with all otherwise-dead values consumed by stores. The density parameter
+// in (0,1] skews operand selection toward recent values (deep, serial DAGs)
+// or early values (wide, parallel DAGs).
+func RandomBlock(rng *rand.Rand, n int, recentBias float64) *ir.Func {
+	f := ir.NewFunc(fmt.Sprintf("rand%d", n))
+	b := f.NewBlock("entry")
+	var vals []ir.VReg
+	pick := func() ir.VReg {
+		if rng.Float64() < recentBias {
+			lo := len(vals) * 3 / 4
+			return vals[lo+rng.Intn(len(vals)-lo)]
+		}
+		return vals[rng.Intn(len(vals))]
+	}
+	for i := 0; i < n; i++ {
+		dst := f.NewReg(fmt.Sprintf("v%d", i), ir.ClassInt)
+		switch {
+		case len(vals) == 0 || rng.Intn(6) == 0:
+			b.Append(&ir.Instr{Op: ir.Load, Dst: dst, Sym: "A", Off: int64(i % 16)})
+		case rng.Intn(4) == 0:
+			b.Append(&ir.Instr{Op: ir.MulI, Dst: dst, Args: []ir.VReg{pick()}, Imm: int64(1 + rng.Intn(7))})
+		default:
+			op := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Xor, ir.And, ir.Or}[rng.Intn(6)]
+			b.Append(&ir.Instr{Op: op, Dst: dst, Args: []ir.VReg{pick(), pick()}})
+		}
+		vals = append(vals, dst)
+	}
+	used := map[ir.VReg]bool{}
+	for _, in := range b.Instrs {
+		for _, u := range in.Uses() {
+			used[u] = true
+		}
+	}
+	for i, v := range vals {
+		if !used[v] {
+			b.Append(&ir.Instr{Op: ir.Store, Args: []ir.VReg{v}, Sym: "OUT", Off: int64(i)})
+		}
+	}
+	return f
+}
+
+// LayeredBlock generates a block with explicit layered parallelism: width
+// independent chains of the given depth, reduced pairwise at the end.
+// Its FU width is exactly `width` and its register demand scales with
+// width, making it the calibrated input for the sweep experiments.
+func LayeredBlock(width, depth int) *ir.Func {
+	f := ir.NewFunc(fmt.Sprintf("layered%dx%d", width, depth))
+	b := f.NewBlock("entry")
+	tips := make([]ir.VReg, width)
+	for w := 0; w < width; w++ {
+		v := f.NewReg(fmt.Sprintf("l%d_0", w), ir.ClassInt)
+		b.Append(&ir.Instr{Op: ir.Load, Dst: v, Sym: "A", Off: int64(w)})
+		tips[w] = v
+		for d := 1; d < depth; d++ {
+			nv := f.NewReg(fmt.Sprintf("l%d_%d", w, d), ir.ClassInt)
+			b.Append(&ir.Instr{Op: ir.AddI, Dst: nv, Args: []ir.VReg{tips[w]}, Imm: int64(d)})
+			tips[w] = nv
+		}
+	}
+	// Pairwise reduction tree.
+	for len(tips) > 1 {
+		var next []ir.VReg
+		for i := 0; i+1 < len(tips); i += 2 {
+			nv := f.NewReg(fmt.Sprintf("r%d_%d", len(tips), i), ir.ClassInt)
+			b.Append(&ir.Instr{Op: ir.Add, Dst: nv, Args: []ir.VReg{tips[i], tips[i+1]}})
+			next = append(next, nv)
+		}
+		if len(tips)%2 == 1 {
+			next = append(next, tips[len(tips)-1])
+		}
+		tips = next
+	}
+	b.Append(&ir.Instr{Op: ir.Store, Args: []ir.VReg{tips[0]}, Sym: "OUT", Off: 0})
+	return f
+}
+
+// RandomInit fills the A array read by RandomBlock and LayeredBlock.
+func RandomInit(seed int64) *ir.State {
+	st := ir.NewState()
+	fillInt(st, "A", 16, seed)
+	return st
+}
+
+// MustBuild builds the dependence DAG of a function's first block, panicking
+// on error; a convenience for benchmarks.
+func MustBuild(f *ir.Func) *dag.Graph {
+	g, err := dag.Build(f.Blocks[0])
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+	"ursa/internal/pipeline"
+)
+
+func TestPaperExampleShape(t *testing.T) {
+	f := PaperExample(false)
+	if got := len(f.Blocks[0].Instrs); got != 11 {
+		t.Errorf("instrs = %d, want 11", got)
+	}
+	f = PaperExample(true)
+	if got := len(f.Blocks[0].Instrs); got != 12 {
+		t.Errorf("instrs = %d, want 12", got)
+	}
+	st := PaperInit()
+	if _, err := st.Run(f, 100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := st.Mem[ir.Addr{Sym: "Z", Off: 0}].Int(); got != 28 {
+		t.Errorf("Z[0] = %d, want 28", got)
+	}
+}
+
+// TestKernelsCompileAndVerify is the suite's acceptance test: every kernel
+// lowers, compiles through the URSA pipeline block by block, executes on
+// the simulator, and matches the interpreter.
+func TestKernelsCompileAndVerify(t *testing.T) {
+	m := machine.VLIW(4, 8)
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			u, err := k.Unit(0)
+			if err != nil {
+				t.Fatalf("Unit: %v", err)
+			}
+			st, err := pipeline.EvaluateFunc(u.Func, m, pipeline.URSA, k.State(1), 1_000_000, pipeline.Options{})
+			if err != nil {
+				t.Fatalf("EvaluateFunc: %v", err)
+			}
+			if !st.Verified || st.Cycles == 0 {
+				t.Errorf("stats: %+v", st)
+			}
+		})
+	}
+}
+
+func TestKernelsFPFlag(t *testing.T) {
+	for _, k := range Kernels() {
+		u, err := k.Unit(0)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		hasFP := false
+		for _, b := range u.Func.Blocks {
+			for _, in := range b.Instrs {
+				if in.Dst != ir.NoReg && u.Func.ClassOf(in.Dst) == ir.ClassFP {
+					hasFP = true
+				}
+			}
+		}
+		if hasFP != k.FP {
+			t.Errorf("%s: FP flag %v but code hasFP=%v", k.Name, k.FP, hasFP)
+		}
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	if KernelByName("dot") == nil {
+		t.Error("dot not found")
+	}
+	if KernelByName("nope") != nil {
+		t.Error("phantom kernel found")
+	}
+}
+
+func TestRandomBlockClosedAndDeterministic(t *testing.T) {
+	f1 := RandomBlock(rand.New(rand.NewSource(9)), 30, 0.5)
+	f2 := RandomBlock(rand.New(rand.NewSource(9)), 30, 0.5)
+	if f1.String() != f2.String() {
+		t.Error("RandomBlock not deterministic for equal seeds")
+	}
+	if ins := ir.LiveIns(f1.Blocks[0]); len(ins) != 0 {
+		t.Errorf("live-ins: %v", ins)
+	}
+	if err := ir.VerifySSA(f1.Blocks[0]); err != nil {
+		t.Errorf("VerifySSA: %v", err)
+	}
+}
+
+func TestLayeredBlockWidth(t *testing.T) {
+	f := LayeredBlock(6, 4)
+	g := MustBuild(f)
+	// The DAG must be valid and its FU width must be at least the layer
+	// width (the chains are mutually independent until the reduction).
+	if err := g.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	st, err := pipeline.Evaluate(f.Blocks[0], machine.VLIW(8, 16), pipeline.URSA, RandomInit(3), pipeline.Options{})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if !st.Verified {
+		t.Error("not verified")
+	}
+}
+
+func TestKernelUnrollMatchesRolled(t *testing.T) {
+	k := KernelByName("stencil3")
+	m := machine.VLIW(4, 12)
+	u0, err := k.Unit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := k.State(2)
+	if _, err := ref.Run(u0.Func, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	u2, err := k.Unit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipeline.EvaluateFunc(u2.Func, m, pipeline.URSA, k.State(2), 1_000_000, pipeline.Options{})
+	if err != nil {
+		t.Fatalf("unrolled evaluate: %v", err)
+	}
+	if !st.Verified {
+		t.Error("unrolled kernel not verified")
+	}
+}

@@ -1,0 +1,144 @@
+package ursa_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ursa"
+	"ursa/internal/dag"
+	"ursa/internal/pipeline"
+	"ursa/internal/vliwsim"
+	"ursa/internal/workload"
+)
+
+// TestStressLargeBlocks pushes blocks far past kernel size through the full
+// URSA stack — 120-200 instructions — on several machines, with end-to-end
+// verification. Skipped in -short mode.
+func TestStressLargeBlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	machines := []*ursa.Machine{
+		ursa.VLIW(4, 8), ursa.VLIW(8, 16), ursa.VLIW(2, 6),
+	}
+	for trial := 0; trial < 4; trial++ {
+		n := 120 + rng.Intn(80)
+		bias := 0.2 + rng.Float64()*0.6
+		f := workload.RandomBlock(rng, n, bias)
+		m := machines[trial%len(machines)]
+		g, err := dag.Build(f.Blocks[0])
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rep, err := ursa.Allocate(g, m)
+		if err != nil {
+			t.Fatalf("trial %d: Allocate: %v", trial, err)
+		}
+		prog, err := ursa.Emit(g, m)
+		if err != nil {
+			t.Fatalf("trial %d: Emit: %v", trial, err)
+		}
+		init := workload.RandomInit(int64(trial))
+		if _, err := vliwsim.Verify(prog, f.Blocks[0], init); err != nil {
+			t.Fatalf("trial %d (n=%d, %s, fits=%v): %v", trial, n, m.Name, rep.Fits, err)
+		}
+	}
+}
+
+// TestStressDeepLoops runs a long-trip-count kernel (thousands of block
+// executions) through every pipeline.
+func TestStressDeepLoops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	f, err := ursa.ParseKernel(`
+		var s = 0;
+		for i = 0 to 2000 {
+			var x = a[i % 16];
+			if (x > 0) { s = s + x * 3; } else { s = s - x; }
+			b[i % 16] = s;
+		}
+		out[0] = s;
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := ursa.NewState()
+	for i := int64(0); i < 16; i++ {
+		init.StoreInt("a", i, i*7-40)
+	}
+	for _, method := range ursa.Methods {
+		st, err := pipeline.EvaluateFunc(f, ursa.VLIW(2, 5), method, init.Clone(), 50_000_000, pipeline.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if st.Cycles < 2000 {
+			t.Errorf("%s: implausibly few cycles %d for 2000 iterations", method, st.Cycles)
+		}
+	}
+}
+
+// TestStressNestedHammocks builds nested diamond structures and checks the
+// hammock analysis, the prioritized measurement, and the driver cope with
+// deep nesting. Skipped in -short mode.
+func TestStressNestedHammocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// Build nested diamonds in IR: each level splits one value into two
+	// parallel computations and rejoins.
+	src := `
+entry:
+	v0 = load A[0]
+	a1 = muli v0, 3
+	b1 = addi v0, 7
+	a2 = muli a1, 3
+	b2 = addi a1, 1
+	j1 = add a2, b2
+	a3 = muli b1, 5
+	b3 = subi b1, 2
+	j2 = add a3, b3
+	a4 = muli j1, 2
+	b4 = xori j1, 9
+	j3 = add a4, b4
+	a5 = muli j2, 2
+	b5 = xori j2, 9
+	j4 = add a5, b5
+	top = add j3, j4
+	store O[0], top
+`
+	f := ursa.MustParseIR(src)
+	g, err := ursa.BuildDAG(f.Blocks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := g.Hammocks()
+	if len(hs) < 3 {
+		t.Errorf("expected several nested hammocks, found %d", len(hs))
+	}
+	maxLevel := 0
+	for _, h := range hs {
+		if h.Level > maxLevel {
+			maxLevel = h.Level
+		}
+	}
+	if maxLevel == 0 {
+		t.Error("no nesting detected")
+	}
+	for _, m := range []*ursa.Machine{ursa.VLIW(2, 3), ursa.VLIW(4, 4)} {
+		g2, _ := ursa.BuildDAG(f.Blocks[0])
+		if _, err := ursa.Allocate(g2, m); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		prog, err := ursa.Emit(g2, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		init := ursa.NewState()
+		init.StoreInt("A", 0, 11)
+		if _, err := vliwsim.Verify(prog, f.Blocks[0], init); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+; The paper's Figure 2 example in textual IR.
+func paper {
+entry:
+	v = load V[0]       ; A
+	w = muli v, 2       ; B
+	x = muli v, 3       ; C
+	y = addi v, 5       ; D
+	t1 = add w, x       ; E
+	t2 = mul w, x       ; F
+	t3 = muli y, 2      ; G
+	t4 = divi y, 3      ; H
+	t5 = div t1, t2     ; I
+	t6 = add t3, t4     ; J
+	z = add t5, t6      ; K
+	store Z[0], z
+}

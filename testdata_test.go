@@ -1,0 +1,47 @@
+package ursa_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ursa"
+)
+
+// TestTestdataCorpus compiles the checked-in example programs (the ones the
+// README and cmd/ursac documentation reference) through the URSA pipeline.
+func TestTestdataCorpus(t *testing.T) {
+	m := ursa.VLIW(4, 8)
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := 0
+	for _, e := range entries {
+		name := e.Name()
+		ext := filepath.Ext(name)
+		if ext != ".tac" && ext != ".k" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f *ursa.Func
+		if ext == ".k" {
+			f, err = ursa.ParseKernel(string(src), 0)
+		} else {
+			f, err = ursa.ParseIR(string(src))
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, _, err := ursa.CompileFunc(f, m, ursa.URSA); err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		compiled++
+	}
+	if compiled < 3 {
+		t.Fatalf("only %d corpus programs compiled", compiled)
+	}
+}

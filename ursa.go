@@ -1,0 +1,260 @@
+// Package ursa is the public API of this reproduction of
+//
+//	Berson, Gupta, Soffa: "URSA: A Unified ReSource Allocator for
+//	Registers and Functional Units in VLIW Architectures" (1993).
+//
+// URSA replaces the classic register-allocation/instruction-scheduling
+// phase ordering with unified resource allocation: it measures, on a
+// dependence DAG, the maximum number of functional units and registers any
+// schedule could demand (minimum chain decompositions of per-resource reuse
+// partial orders — Dilworth's theorem realized by bipartite matching), then
+// applies DAG transformations — functional-unit sequencing, register
+// sequencing, and spilling — until the worst case fits the target machine,
+// and only then assigns concrete resources and emits VLIW code.
+//
+// The package exposes the full pipeline plus the baselines the paper argues
+// against (prepass scheduling, postpass scheduling after graph coloring,
+// and register-sensitive integrated list scheduling), a parameterizable
+// VLIW machine model and simulator, a small kernel language front end,
+// Fisher-style trace scheduling, and the paper's software-pipelining
+// extension. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// the reproduced results.
+//
+// Quickstart:
+//
+//	f := ursa.MustParseIR(src)             // three-address code
+//	g, _ := ursa.BuildDAG(f.Blocks[0])     // dependence DAG
+//	m := ursa.VLIW(2, 4)                   // 2 FUs, 4 registers per file
+//	rep, _ := ursa.Allocate(g, m)          // URSA: measure + transform
+//	prog, _ := ursa.Emit(g, m)             // assign + emit VLIW words
+//	res, _ := ursa.Simulate(prog, init)    // run on the machine model
+package ursa
+
+import (
+	"io"
+
+	"ursa/internal/assign"
+	"ursa/internal/core"
+	"ursa/internal/dag"
+	"ursa/internal/frontend"
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+	"ursa/internal/measure"
+	"ursa/internal/opt"
+	"ursa/internal/pipeline"
+	"ursa/internal/reuse"
+	"ursa/internal/sched"
+	"ursa/internal/vliwsim"
+	"ursa/internal/workload"
+)
+
+// Core types, aliased so callers work directly with the library's data
+// structures.
+type (
+	// Machine describes a target VLIW configuration.
+	Machine = machine.Config
+	// Func is a function of three-address IR.
+	Func = ir.Func
+	// Block is a basic block.
+	Block = ir.Block
+	// Instr is one instruction.
+	Instr = ir.Instr
+	// State is an interpreter/simulator machine state.
+	State = ir.State
+	// Addr is a symbolic memory address.
+	Addr = ir.Addr
+	// Graph is a dependence DAG under allocation.
+	Graph = dag.Graph
+	// Program is emitted VLIW code.
+	Program = assign.Program
+	// FuncProgram is a whole compiled function (one Program per block).
+	FuncProgram = pipeline.FuncProgram
+	// Report describes a URSA allocation run.
+	Report = core.Report
+	// Stats reports a pipeline compilation/execution.
+	Stats = pipeline.Stats
+	// SimResult reports a simulation.
+	SimResult = vliwsim.Result
+	// Method selects a compilation pipeline.
+	Method = pipeline.Method
+	// Kernel is a named benchmark program.
+	Kernel = workload.Kernel
+	// AllocOptions tunes the URSA driver.
+	AllocOptions = core.Options
+	// Policy selects how register and FU transformations interleave.
+	Policy = core.Policy
+)
+
+// Compilation pipelines.
+const (
+	// URSA is the paper's unified allocator.
+	URSA = pipeline.URSA
+	// Prepass schedules first and patches spill code in afterwards.
+	Prepass = pipeline.Prepass
+	// Postpass colors registers first, then schedules around the reuse
+	// dependences.
+	Postpass = pipeline.Postpass
+	// IntegratedList is register-pressure-sensitive list scheduling in the
+	// style of Goodman & Hsu.
+	IntegratedList = pipeline.IntegratedList
+)
+
+// Transformation-interleaving policies (paper §5).
+const (
+	// Integrated scores register and FU transformations together.
+	Integrated = core.Integrated
+	// RegistersFirst runs the register phase before the FU phase.
+	RegistersFirst = core.RegistersFirst
+	// FUsFirst runs the FU phase first (for ablations).
+	FUsFirst = core.FUsFirst
+)
+
+// Methods lists all pipelines in presentation order.
+var Methods = pipeline.Methods
+
+// VLIW returns the paper's homogeneous machine model: width functional
+// units, regs registers in each register file, unit latencies.
+func VLIW(width, regs int) *Machine { return machine.VLIW(width, regs) }
+
+// Heterogeneous returns a machine with per-class functional units.
+func Heterogeneous(ialu, falu, mem, br, intRegs, fpRegs int) *Machine {
+	return machine.Heterogeneous(ialu, falu, mem, br, intRegs, fpRegs)
+}
+
+// RealisticLatency is a multi-cycle latency model (mul 2, div 4, memory 2)
+// assignable to Machine.Latency.
+func RealisticLatency(op ir.Op) int { return machine.RealisticLatency(op) }
+
+// ParseIR parses textual three-address IR (see internal/ir's format).
+func ParseIR(src string) (*Func, error) { return ir.Parse(src) }
+
+// MustParseIR is ParseIR that panics on error.
+func MustParseIR(src string) *Func { return ir.MustParse(src) }
+
+// ParseKernel compiles a kernel-language program (see internal/frontend)
+// to IR, unrolling constant-trip `for` loops by the given factor (0 or 1
+// disables unrolling).
+func ParseKernel(src string, unroll int) (*Func, error) {
+	u, err := frontend.Compile(src, frontend.Options{Unroll: unroll})
+	if err != nil {
+		return nil, err
+	}
+	return u.Func, nil
+}
+
+// NewState returns an empty machine state for interpretation or simulation.
+func NewState() *State { return ir.NewState() }
+
+// BuildDAG constructs the dependence DAG of a straight-line
+// single-assignment block.
+func BuildDAG(b *Block) (*Graph, error) { return dag.Build(b) }
+
+// Allocate runs URSA's unified allocation on the DAG (mutating it) against
+// the machine, with default options.
+func Allocate(g *Graph, m *Machine) (*Report, error) {
+	return core.Run(g, core.Options{Machine: m})
+}
+
+// AllocateOpts runs URSA with explicit options (policy, trace writer,
+// transformation restrictions). The Machine field of opts is overridden.
+func AllocateOpts(g *Graph, m *Machine, opts AllocOptions) (*Report, error) {
+	opts.Machine = m
+	return core.Run(g, opts)
+}
+
+// Requirements measures the DAG's current worst-case demand for every
+// resource of the machine (paper §3), without transforming anything.
+func Requirements(g *Graph, m *Machine) map[string]int {
+	out := map[string]int{}
+	for _, r := range core.Resources(g, m) {
+		out[r.Name] = measure.Measure(r.Build(g)).Width
+	}
+	return out
+}
+
+// FURequirement measures the DAG's worst-case demand for homogeneous
+// functional units.
+func FURequirement(g *Graph) int {
+	return measure.Measure(reuse.FU(g, reuse.AllFUs)).Width
+}
+
+// RegRequirement measures the DAG's worst-case demand for integer
+// registers.
+func RegRequirement(g *Graph) int {
+	return measure.Measure(reuse.Reg(g, ir.ClassInt)).Width
+}
+
+// Emit schedules the (transformed) DAG and assigns physical registers,
+// returning executable VLIW code. If the schedule's pressure exceeds the
+// machine (URSA left residual excess, or Allocate was skipped), spill code
+// is patched in.
+func Emit(g *Graph, m *Machine) (*Program, error) {
+	prog, _, err := assign.Emit(g, m, sched.Options{})
+	return prog, err
+}
+
+// Simulate executes a program on the machine model from a copy of init.
+func Simulate(p *Program, init *State) (*SimResult, error) {
+	return vliwsim.Run(p, init)
+}
+
+// CompileBlock runs one complete pipeline (URSA or a baseline) on a block.
+func CompileBlock(b *Block, m *Machine, method Method) (*Program, *Stats, error) {
+	return pipeline.Compile(b, m, method, pipeline.Options{})
+}
+
+// EvaluateBlock compiles a block, executes it, verifies the result against
+// the sequential interpreter, and returns statistics.
+func EvaluateBlock(b *Block, m *Machine, method Method, init *State) (*Stats, error) {
+	return pipeline.Evaluate(b, m, method, init, pipeline.Options{})
+}
+
+// CompileFunc compiles every block of a function through the pipeline.
+func CompileFunc(f *Func, m *Machine, method Method) (*FuncProgram, *Stats, error) {
+	return pipeline.CompileFunc(f, m, method, pipeline.Options{})
+}
+
+// EvaluateFunc compiles and runs a whole function, verifying its memory
+// effects against the interpreter. maxCycles bounds execution.
+func EvaluateFunc(f *Func, m *Machine, method Method, init *State, maxCycles int) (*Stats, error) {
+	return pipeline.EvaluateFunc(f, m, method, init, maxCycles, pipeline.Options{})
+}
+
+// OptStats counts the rewrites Optimize performed.
+type OptStats = opt.Stats
+
+// Optimize runs the block-local scalar optimizations (constant folding,
+// copy propagation, CSE, dead code elimination) on every block of the
+// function, in place, and returns the rewrite counts. Semantics are
+// preserved exactly.
+func Optimize(f *Func) OptStats { return opt.Func(f) }
+
+// Kernels returns the built-in benchmark suite.
+func Kernels() []*Kernel { return workload.Kernels() }
+
+// KernelByName returns a built-in kernel, or nil.
+func KernelByName(name string) *Kernel { return workload.KernelByName(name) }
+
+// PaperExample returns the paper's Figure 2 block (store=true appends the
+// consuming store), and PaperInit its canonical input.
+func PaperExample(store bool) *Func { return workload.PaperExample(store) }
+
+// PaperInit returns the canonical input state for PaperExample.
+func PaperInit() *State { return workload.PaperInit() }
+
+// Dot renders a DAG in Graphviz format.
+func Dot(g *Graph, title string) string { return g.Dot(title) }
+
+// ReuseDotFU renders the functional-unit Reuse DAG (paper §3, Def. 4).
+func ReuseDotFU(g *Graph, title string) string {
+	return reuse.FU(g, reuse.AllFUs).Dot(title)
+}
+
+// ReuseDotReg renders the integer-register Reuse DAG with each value's
+// selected kill (paper §3.2).
+func ReuseDotReg(g *Graph, title string) string {
+	return reuse.Reg(g, ir.ClassInt).Dot(title)
+}
+
+// TraceWriter is accepted by AllocOptions.Trace.
+type TraceWriter = io.Writer

@@ -1,0 +1,113 @@
+package ursa_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ursa"
+)
+
+// TestQuickstart exercises the README's quickstart path end to end.
+func TestQuickstart(t *testing.T) {
+	f := ursa.PaperExample(true)
+	g, err := ursa.BuildDAG(f.Blocks[0])
+	if err != nil {
+		t.Fatalf("BuildDAG: %v", err)
+	}
+	if got := ursa.FURequirement(g); got != 4 {
+		t.Errorf("FU requirement = %d, want 4", got)
+	}
+	if got := ursa.RegRequirement(g); got != 5 {
+		t.Errorf("register requirement = %d, want 5", got)
+	}
+	m := ursa.VLIW(2, 3)
+	rep, err := ursa.Allocate(g, m)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if !rep.Fits {
+		t.Fatalf("did not fit: %+v", rep.FinalWidths)
+	}
+	prog, err := ursa.Emit(g, m)
+	if err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	res, err := ursa.Simulate(prog, ursa.PaperInit())
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if got := res.State.Mem[ursa.Addr{Sym: "Z", Off: 0}].Int(); got != 28 {
+		t.Errorf("Z[0] = %d, want 28", got)
+	}
+}
+
+func TestRequirementsMap(t *testing.T) {
+	f := ursa.PaperExample(false)
+	g, err := ursa.BuildDAG(f.Blocks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ursa.Requirements(g, ursa.VLIW(4, 8))
+	if req["fu"] != 4 || req["reg.int"] != 5 {
+		t.Errorf("Requirements = %v", req)
+	}
+}
+
+func TestAllocateOptsTrace(t *testing.T) {
+	f := ursa.PaperExample(true)
+	g, err := ursa.BuildDAG(f.Blocks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ursa.AllocateOpts(g, ursa.VLIW(2, 4), ursa.AllocOptions{Trace: &buf}); err != nil {
+		t.Fatalf("AllocateOpts: %v", err)
+	}
+	if !strings.Contains(buf.String(), "ursa:") {
+		t.Error("trace output empty")
+	}
+}
+
+func TestKernelFacade(t *testing.T) {
+	k := ursa.KernelByName("dot")
+	if k == nil {
+		t.Fatal("dot kernel missing")
+	}
+	f, err := ursa.ParseKernel(k.Source, 0)
+	if err != nil {
+		t.Fatalf("ParseKernel: %v", err)
+	}
+	st, err := ursa.EvaluateFunc(f, ursa.VLIW(4, 8), ursa.URSA, k.State(3), 1_000_000)
+	if err != nil {
+		t.Fatalf("EvaluateFunc: %v", err)
+	}
+	if !st.Verified {
+		t.Error("kernel not verified")
+	}
+}
+
+func TestMethodsComparable(t *testing.T) {
+	f := ursa.PaperExample(true)
+	m := ursa.VLIW(4, 3)
+	cycles := map[ursa.Method]int{}
+	for _, method := range ursa.Methods {
+		st, err := ursa.EvaluateBlock(f.Blocks[0], m, method, ursa.PaperInit())
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		cycles[method] = st.Cycles
+	}
+	if cycles[ursa.URSA] > cycles[ursa.Prepass] {
+		t.Errorf("URSA (%d cycles) slower than prepass (%d) at 3 registers",
+			cycles[ursa.URSA], cycles[ursa.Prepass])
+	}
+}
+
+func TestDotFacade(t *testing.T) {
+	f := ursa.PaperExample(false)
+	g, _ := ursa.BuildDAG(f.Blocks[0])
+	if !strings.Contains(ursa.Dot(g, "x"), "digraph") {
+		t.Error("dot output malformed")
+	}
+}
