@@ -10,6 +10,8 @@ import (
 
 	"ursa"
 	"ursa/internal/experiments"
+	"ursa/internal/measure"
+	"ursa/internal/workload"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -93,6 +95,79 @@ func BenchmarkMicroCompileKernel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := ursa.CompileFunc(f, m, ursa.URSA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Parallel-driver benchmarks: the whole kernel suite × every pipeline as
+// one job batch, at different worker counts. Compare SuiteCompileJ1 with
+// SuiteCompileJ4/J8 for the driver's wall-clock speedup; the compiled
+// output is identical at every worker count.
+
+func suiteJobs(b *testing.B) []ursa.Job {
+	b.Helper()
+	entries, err := workload.Suite(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ursa.VLIW(4, 6)
+	var jobs []ursa.Job
+	for _, e := range entries {
+		for _, method := range ursa.Methods {
+			jobs = append(jobs, ursa.Job{
+				Name: e.Kernel.Name, Func: e.Func, Machine: m, Method: method,
+			})
+		}
+	}
+	return jobs
+}
+
+func benchSuiteCompile(b *testing.B, workers int) {
+	jobs := suiteJobs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ursa.RunJobs(jobs, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteCompileJ1(b *testing.B) { benchSuiteCompile(b, 1) }
+func BenchmarkSuiteCompileJ4(b *testing.B) { benchSuiteCompile(b, 4) }
+func BenchmarkSuiteCompileJ8(b *testing.B) { benchSuiteCompile(b, 8) }
+
+// BenchmarkMicroAllocateCached isolates the measurement cache: URSA
+// allocation of a register-pressured block with a cache kept warm across
+// iterations. Compare with BenchmarkMicroAllocateUncached (a fresh cache
+// every run, the default).
+func BenchmarkMicroAllocateCached(b *testing.B) {
+	f := workload.LayeredBlock(8, 3)
+	m := ursa.VLIW(4, 4)
+	cache := measure.NewCache()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := ursa.BuildDAG(f.Blocks[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ursa.AllocateOpts(g, m, ursa.AllocOptions{Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroAllocateUncached(b *testing.B) {
+	f := workload.LayeredBlock(8, 3)
+	m := ursa.VLIW(4, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := ursa.BuildDAG(f.Blocks[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ursa.Allocate(g, m); err != nil {
 			b.Fatal(err)
 		}
 	}

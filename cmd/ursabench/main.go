@@ -7,8 +7,12 @@
 // Usage:
 //
 //	ursabench           # run everything
+//	ursabench -j 8      # fan each experiment's jobs over 8 workers
 //	ursabench T1 T2     # run selected experiments
 //	ursabench -list     # list experiment ids
+//
+// Tables go to stdout and are byte-identical at every -j setting; timing
+// lines go to stderr.
 package main
 
 import (
@@ -22,7 +26,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jobs := flag.Int("j", 0, "workers per experiment (0: all cores, 1: sequential)")
 	flag.Parse()
+	experiments.SetParallelism(*jobs)
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -56,7 +62,10 @@ func main() {
 			failed++
 			continue
 		}
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		// Timing goes to stderr: stdout must be byte-identical across -j
+		// settings and runs.
+		fmt.Fprintf(os.Stderr, "(%s in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ursac -pipeline ursa -width 4 -regs 8 [-kernel] [-unroll N] [-run] [-dot] file
+//	ursac -pipeline ursa -width 4 -regs 8 [-j N] [-kernel] [-unroll N] [-run] [-dot] file
 //
 // With no file, a built-in demo (the paper's Figure 2 example) compiles.
 package main
@@ -32,6 +32,7 @@ func main() {
 		trace        = flag.Bool("trace", false, "print the allocator's transformation trace")
 		realistic    = flag.Bool("latency", false, "use realistic multi-cycle latencies")
 		optimize     = flag.Bool("O", false, "run scalar optimizations (fold/copy/CSE/DCE) before compiling")
+		jobs         = flag.Int("j", 0, "compile blocks with N parallel workers (0: all cores, 1: sequential)")
 	)
 	flag.Parse()
 
@@ -74,7 +75,11 @@ func main() {
 		}
 	}
 
-	fp, stats, err := ursa.CompileFunc(f, m, method)
+	workers := *jobs
+	if workers == 0 {
+		workers = -1 // pipeline convention: negative means GOMAXPROCS
+	}
+	fp, stats, err := ursa.CompileFuncOpts(f, m, method, ursa.CompileOptions{Workers: workers})
 	if err != nil {
 		fatalf("compile: %v", err)
 	}

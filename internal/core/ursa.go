@@ -70,6 +70,13 @@ type Options struct {
 	DisableSpills bool
 	// DisableSequencing restricts register reduction to spills.
 	DisableSequencing bool
+	// Cache, when non-nil, memoizes measurements across the run (and, if
+	// the caller shares one, across runs). Widths are independent of the
+	// machine's limits, so a shared cache is sound across register-file and
+	// FU-count sweeps; it must not be shared between machines that map the
+	// same resource name onto different instruction sets. When nil, Run
+	// creates a private cache for its internal re-measurements.
+	Cache *measure.Cache
 }
 
 // A Resource pairs a reuse-structure builder with its machine limit.
@@ -204,6 +211,12 @@ func Run(g *dag.Graph, opts Options) (*Report, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Cache == nil {
+		// One cache across the baseline and every retry style: they all
+		// start from clones of the same graph and re-measure overlapping
+		// transformed states.
+		opts.Cache = measure.NewCache()
+	}
 	styles := []scoreStyle{styleDefault, styleAggressive}
 	if !opts.DisableSpills {
 		styles = append(styles, styleSpillFirst)
@@ -261,13 +274,6 @@ func emittedCost(g *dag.Graph, m *machine.Config) int {
 	return len(prog.Words)<<12 | min(prog.Spills, 1<<12-1)
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // scoreStyle selects the tie-breaking order used when comparing candidate
 // transformations of equal excess reduction.
 type scoreStyle uint8
@@ -311,7 +317,7 @@ func runOnce(g *dag.Graph, opts Options, style scoreStyle) (*Report, error) {
 		out := make(map[string]*measure.Result, len(resources))
 		excess := 0
 		for _, r := range resources {
-			res := measure.Measure(r.Build(gr))
+			res := opts.Cache.Measure(gr, r.Name, r.Build)
 			out[r.Name] = res
 			if d := res.Width - r.Limit; d > 0 {
 				excess += d

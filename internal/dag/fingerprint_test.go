@@ -1,0 +1,72 @@
+package dag
+
+import (
+	"testing"
+
+	"ursa/internal/ir"
+)
+
+func fpGraph(t *testing.T) (*ir.Func, *Graph) {
+	t.Helper()
+	f := ir.MustParse(`
+func fp {
+entry:
+	a = load A[0]
+	b = muli a, 2
+	c = addi a, 3
+	d = add b, c
+	store OUT[0], d
+}
+`)
+	g, err := Build(f.Blocks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, g
+}
+
+// TestFingerprintStability: repeated calls and clones agree; the hash does
+// not depend on map iteration order.
+func TestFingerprintStability(t *testing.T) {
+	_, g := fpGraph(t)
+	first := g.Fingerprint()
+	for i := 0; i < 10; i++ {
+		if g.Fingerprint() != first {
+			t.Fatal("fingerprint changed between calls on an unchanged graph")
+		}
+	}
+	if g.Clone().Fingerprint() != first {
+		t.Fatal("clone fingerprint differs")
+	}
+}
+
+// TestFingerprintSensitivity: edges, live-out changes, and instruction
+// changes all change the hash.
+func TestFingerprintSensitivity(t *testing.T) {
+	_, g := fpGraph(t)
+	base := g.Fingerprint()
+
+	withEdge := g.Clone()
+	// b and c are independent siblings; sequencing them is a real change.
+	nb, nc := g.Func.Reg("b"), g.Func.Reg("c")
+	withEdge.AddEdge(withEdge.DefNode(nb), withEdge.DefNode(nc), EdgeSeq)
+	if withEdge.Fingerprint() == base {
+		t.Fatal("added edge did not change the fingerprint")
+	}
+
+	withLive := g.Clone()
+	withLive.LiveOut[g.Func.Reg("d")] = true
+	if withLive.Fingerprint() == base {
+		t.Fatal("live-out change did not change the fingerprint")
+	}
+
+	withImm := g.Clone()
+	for _, n := range withImm.Nodes {
+		if n.Instr != nil && n.Instr.Op == ir.MulI {
+			n.Instr.Imm = 5
+		}
+	}
+	if withImm.Fingerprint() == base {
+		t.Fatal("immediate change did not change the fingerprint")
+	}
+}

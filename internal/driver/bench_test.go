@@ -1,0 +1,27 @@
+package driver
+
+import (
+	"testing"
+	"time"
+)
+
+// The pool's wall-clock win comes from overlapping jobs. CPU-bound batches
+// need real cores to show it (see the root package's SuiteCompile
+// benchmarks); blocking jobs show the overlap on any machine, including a
+// single-CPU CI runner: 16 five-millisecond jobs take ~80ms at one worker
+// and ~20ms at four.
+func benchBlockedMap(b *testing.B, workers int) {
+	const n, d = 16, 5 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		_, _, err := Map(n, func(int) (struct{}, error) {
+			time.Sleep(d)
+			return struct{}{}, nil
+		}, Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapBlockedJ1(b *testing.B) { benchBlockedMap(b, 1) }
+func BenchmarkMapBlockedJ4(b *testing.B) { benchBlockedMap(b, 4) }

@@ -1,0 +1,157 @@
+// Package driver is the parallel compilation driver's substrate: a bounded
+// worker pool that fans a batch of independent jobs out across GOMAXPROCS
+// (or -j N) workers while keeping every observable result deterministic.
+//
+// Three properties make the pool safe to put under a compiler:
+//
+//   - Deterministic ordering: results are collected by job index, never by
+//     arrival order, so a batch compiled at -j 8 reports byte-identically
+//     to the same batch at -j 1.
+//   - Panic isolation: a panic inside one job is recovered and converted
+//     into that job's error (with the stack attached), so one bad input
+//     cannot kill the whole batch or the process.
+//   - Fail-fast cancellation: by default the first hard error stops the
+//     pool from starting any further jobs; already-running jobs finish and
+//     their results are kept. KeepGoing disables this for batches that
+//     want every result regardless.
+//
+// The package deliberately depends on nothing but the standard library so
+// that every layer of the compiler (core, pipeline, experiments, the cmd
+// tools) can use it without import cycles.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures one batch.
+type Options struct {
+	// Workers bounds the number of concurrently running jobs. Zero or
+	// negative means runtime.GOMAXPROCS(0). One runs the batch inline on
+	// the calling goroutine (no goroutines are spawned), which is also the
+	// reference behavior the parallel modes must reproduce exactly.
+	Workers int
+	// KeepGoing runs every job even after one fails. The default (false)
+	// skips jobs that have not started once any job returns an error or
+	// panics; skipped jobs report ErrSkipped.
+	KeepGoing bool
+}
+
+// ErrSkipped marks a job that never ran because an earlier job failed and
+// the batch was not KeepGoing.
+var ErrSkipped = errors.New("driver: job skipped after earlier failure")
+
+// A PanicError wraps a panic recovered from a job.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // the panicking goroutine's stack
+}
+
+// Error renders the panic value; the stack is available via the field.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("driver: job panicked: %v", e.Value)
+}
+
+// normWorkers resolves the worker count.
+func normWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// Map runs fn(0..n-1) across the pool and returns the n results in index
+// order together with the first error by job index (nil when every job
+// succeeded). Skipped jobs have their zero value and ErrSkipped recorded;
+// use Errs to inspect per-job failures.
+func Map[T any](n int, fn func(i int) (T, error), opts Options) ([]T, []error, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, errs, nil
+	}
+
+	workers := normWorkers(opts.Workers)
+	if workers > n {
+		workers = n
+	}
+
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				stack := make([]byte, 64<<10)
+				stack = stack[:runtime.Stack(stack, false)]
+				errs[i] = &PanicError{Value: r, Stack: stack}
+			}
+		}()
+		results[i], errs[i] = fn(i)
+	}
+
+	var failed atomic.Bool
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if failed.Load() && !opts.KeepGoing {
+				errs[i] = ErrSkipped
+				continue
+			}
+			run(i)
+			if errs[i] != nil {
+				failed.Store(true)
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					if failed.Load() && !opts.KeepGoing {
+						errs[i] = ErrSkipped
+						continue
+					}
+					run(i)
+					if errs[i] != nil {
+						failed.Store(true)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// The first error by job index, not by arrival time, so the reported
+	// failure is the same whatever the interleaving. ErrSkipped entries are
+	// consequences, not causes; prefer a real error when one exists.
+	var firstSkip error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrSkipped) {
+			if firstSkip == nil {
+				firstSkip = err
+			}
+			continue
+		}
+		return results, errs, err
+	}
+	return results, errs, firstSkip
+}
+
+// ForEach is Map for jobs with no result value.
+func ForEach(n int, fn func(i int) error, opts Options) error {
+	_, _, err := Map(n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	}, opts)
+	return err
+}

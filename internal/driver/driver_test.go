@@ -1,0 +1,190 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapOrdering: results come back in job-index order at every worker
+// count, for a batch whose jobs finish in scrambled order.
+func TestMapOrdering(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		got, errs, err := Map(n, func(i int) (int, error) {
+			// Busy-skew the finish order without sleeping.
+			x := 0
+			for k := 0; k < (n-i)*1000; k++ {
+				x += k
+			}
+			_ = x
+			return i * i, nil
+		}, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: errs[%d] = %v", workers, i, errs[i])
+			}
+		}
+	}
+}
+
+// TestDeterminism: the full (results, errs, err) triple of a mixed
+// success/failure KeepGoing batch is identical between -j 1 and -j 8.
+func TestDeterminism(t *testing.T) {
+	const n = 40
+	job := func(i int) (string, error) {
+		if i%7 == 3 {
+			return "", fmt.Errorf("job %d failed", i)
+		}
+		return fmt.Sprintf("ok%d", i), nil
+	}
+	render := func(workers int) string {
+		got, errs, err := Map(n, job, Options{Workers: workers, KeepGoing: true})
+		out := fmt.Sprintf("err=%v\n", err)
+		for i := range got {
+			out += fmt.Sprintf("%d: %q %v\n", i, got[i], errs[i])
+		}
+		return out
+	}
+	one := render(1)
+	for i := 0; i < 5; i++ {
+		if eight := render(8); eight != one {
+			t.Fatalf("run %d: -j8 differs from -j1:\n%s\nvs\n%s", i, eight, one)
+		}
+	}
+}
+
+// TestPanicIsolation: a panicking job becomes a PanicError for that job;
+// other jobs complete and the process survives.
+func TestPanicIsolation(t *testing.T) {
+	const n = 16
+	got, errs, err := Map(n, func(i int) (int, error) {
+		if i == 5 {
+			panic("boom")
+		}
+		return i, nil
+	}, Options{Workers: 4, KeepGoing: true})
+	if err == nil {
+		t.Fatal("want batch error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("batch error = %v, want PanicError", err)
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = {%v, %d bytes of stack}", pe.Value, len(pe.Stack))
+	}
+	for i := 0; i < n; i++ {
+		if i == 5 {
+			if !errors.As(errs[i], &pe) {
+				t.Fatalf("errs[5] = %v, want PanicError", errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil || got[i] != i {
+			t.Fatalf("job %d: got (%d, %v), want (%d, nil)", i, got[i], errs[i], i)
+		}
+	}
+}
+
+// TestFailFastCancellation: after the first hard error, not-yet-started
+// jobs are skipped (inline mode: every later job; parallel mode: all but
+// the jobs already in flight).
+func TestFailFastCancellation(t *testing.T) {
+	const n = 32
+	var ran atomic.Int64
+	_, errs, err := Map(n, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("hard error")
+		}
+		return i, nil
+	}, Options{Workers: 1})
+	if err == nil || err.Error() != "hard error" {
+		t.Fatalf("err = %v, want the hard error", err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d jobs ran, want 1 (inline fail-fast)", got)
+	}
+	for i := 1; i < n; i++ {
+		if !errors.Is(errs[i], ErrSkipped) {
+			t.Fatalf("errs[%d] = %v, want ErrSkipped", i, errs[i])
+		}
+	}
+
+	// Parallel: at most `workers` jobs can be in flight when job 0 fails,
+	// so with a failure gate at the front the run count stays far below n.
+	ran.Store(0)
+	gate := make(chan struct{})
+	_, _, err = Map(n, func(i int) (int, error) {
+		if i == 0 {
+			err := errors.New("hard error")
+			close(gate)
+			return 0, err
+		}
+		<-gate // nobody proceeds until the failure is recorded...
+		ran.Add(1)
+		return i, nil
+	}, Options{Workers: 4})
+	if err == nil || err.Error() != "hard error" {
+		t.Fatalf("parallel err = %v, want the hard error", err)
+	}
+	// Only jobs already in flight when the failure landed may still run:
+	// with 4 workers that is a handful, never the whole batch.
+	if got := ran.Load(); got > n/2 {
+		t.Fatalf("%d jobs ran after the failure, want only the in-flight few", got)
+	}
+}
+
+// TestKeepGoing: with KeepGoing, every job runs despite failures.
+func TestKeepGoing(t *testing.T) {
+	const n = 24
+	var ran atomic.Int64
+	_, errs, err := Map(n, func(i int) (int, error) {
+		ran.Add(1)
+		if i%2 == 0 {
+			return 0, fmt.Errorf("fail %d", i)
+		}
+		return i, nil
+	}, Options{Workers: 3, KeepGoing: true})
+	if err == nil || err.Error() != "fail 0" {
+		t.Fatalf("err = %v, want fail 0 (first by index)", err)
+	}
+	if got := ran.Load(); got != n {
+		t.Fatalf("%d jobs ran, want all %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if (errs[i] != nil) != (i%2 == 0) {
+			t.Fatalf("errs[%d] = %v", i, errs[i])
+		}
+	}
+}
+
+// TestForEach covers the no-result wrapper.
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(10, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d, want 45", sum.Load())
+	}
+}
+
+// TestEmptyBatch: n=0 returns immediately.
+func TestEmptyBatch(t *testing.T) {
+	got, errs, err := Map(0, func(i int) (int, error) { return 0, nil }, Options{})
+	if err != nil || len(got) != 0 || len(errs) != 0 {
+		t.Fatalf("empty batch: %v %v %v", got, errs, err)
+	}
+}

@@ -21,7 +21,7 @@ func TestFiguresExact(t *testing.T) {
 }
 
 func TestConvergenceTable(t *testing.T) {
-	if testing.Short() {
+	if testing.Short() || raceEnabled {
 		t.Skip("long: convergence sweep")
 	}
 	tbl, err := F1Convergence()
@@ -43,7 +43,7 @@ func TestEvaluationTables(t *testing.T) {
 		}
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			if testing.Short() && !quick[e.ID] {
+			if (testing.Short() || raceEnabled) && !quick[e.ID] {
 				t.Skip("long experiment")
 			}
 			tbl, err := e.Run()
@@ -57,6 +57,38 @@ func TestEvaluationTables(t *testing.T) {
 				t.Error("render missing id")
 			}
 		})
+	}
+}
+
+// TestTablesParallelIdentical: the job-fanned tables render byte-identically
+// at one worker and at eight. (T4 is excluded everywhere from such checks:
+// its cells are wall-clock timings.)
+func TestTablesParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: runs experiments twice")
+	}
+	defer SetParallelism(0)
+	ids := []string{"T8", "T10", "T12"}
+	if raceEnabled {
+		// Keep one representative table under the detector; the full set
+		// takes minutes there and adds no extra concurrency coverage.
+		ids = ids[:1]
+	}
+	for _, id := range ids {
+		e := ByID(id)
+		SetParallelism(1)
+		seq, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		SetParallelism(8)
+		par, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if par.String() != seq.String() {
+			t.Errorf("%s renders differently at 8 workers:\n%s\nvs\n%s", id, par, seq)
+		}
 	}
 }
 

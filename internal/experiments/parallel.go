@@ -1,0 +1,17 @@
+package experiments
+
+import "sync/atomic"
+
+// parallelism is the worker count the table experiments hand to
+// pipeline.RunJobs. Zero (the default) means GOMAXPROCS.
+var parallelism atomic.Int64
+
+// SetParallelism sets the number of workers the table experiments use when
+// fanning out their kernel × configuration jobs. Zero or negative selects
+// GOMAXPROCS; one runs every job inline. The tables' contents are identical
+// at every setting — only wall-clock time changes. Safe to call from any
+// goroutine.
+func SetParallelism(n int) { parallelism.Store(int64(n)) }
+
+// Parallelism reports the current setting (see SetParallelism).
+func Parallelism() int { return int(parallelism.Load()) }

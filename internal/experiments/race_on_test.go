@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled gates the heavyweight experiment regenerations out of -race
+// runs: their tables take minutes under the detector, and their
+// concurrency lives entirely in internal/driver and internal/pipeline,
+// which carry their own race tests.
+const raceEnabled = true

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
 	"ursa/internal/core"
@@ -33,19 +34,30 @@ func T1PhaseOrdering() (*Table, error) {
 		Header: []string{"kernel", "ursa", "prepass", "postpass", "integrated-list",
 			"ursa-spills", "prepass-spills", "postpass-spills"},
 	}
-	ursaWins, totalURSA, totalBest := 0, 0, 0
-	for _, k := range t1Kernels() {
+	kernels := t1Kernels()
+	var jobs []pipeline.Job
+	for _, k := range kernels {
 		u, err := k.Unit(2)
 		if err != nil {
 			return nil, err
 		}
+		for _, method := range pipeline.Methods {
+			jobs = append(jobs, pipeline.Job{
+				Name: "T1 " + k.Name + "/" + method.String(),
+				Func: u.Func, Machine: m, Method: method, Init: k.State(11),
+			})
+		}
+	}
+	results, err := pipeline.RunJobs(jobs, Parallelism())
+	if err != nil {
+		return nil, err
+	}
+	ursaWins, totalURSA, totalBest := 0, 0, 0
+	for ki, k := range kernels {
 		cycles := map[pipeline.Method]int{}
 		spills := map[pipeline.Method]int{}
-		for _, method := range pipeline.Methods {
-			st, err := pipeline.EvaluateFunc(u.Func, m, method, k.State(11), 50_000_000, pipeline.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("T1 %s/%s: %w", k.Name, method, err)
-			}
+		for mi, method := range pipeline.Methods {
+			st := results[ki*len(pipeline.Methods)+mi].Stats
 			cycles[method] = st.Cycles
 			spills[method] = st.SpillOps
 		}
@@ -67,7 +79,7 @@ func T1PhaseOrdering() (*Table, error) {
 		totalBest += best
 	}
 	t.Finding = fmt.Sprintf("URSA at-or-better than every baseline on %d/%d kernels; total cycles %d vs best-baseline %d",
-		ursaWins, len(t1Kernels()), totalURSA, totalBest)
+		ursaWins, len(kernels), totalURSA, totalBest)
 	return t, nil
 }
 
@@ -80,20 +92,40 @@ func T2RegisterSweep() (*Table, error) {
 		Claim:  "§1/§2: considering register constraints before scheduling avoids spill patching as registers shrink",
 		Header: []string{"regs", "ursa", "prepass", "postpass", "integrated-list", "ursa-spills", "prepass-spills"},
 	}
-	for _, regs := range []int{3, 4, 6, 8, 12, 16} {
+	regsList := []int{3, 4, 6, 8, 12, 16}
+	kernels := t1Kernels()
+	funcs := make([]*ir.Func, len(kernels))
+	for i, k := range kernels {
+		u, err := k.Unit(2)
+		if err != nil {
+			return nil, err
+		}
+		funcs[i] = u.Func
+	}
+	var jobs []pipeline.Job
+	for _, regs := range regsList {
 		m := machine.VLIW(4, regs)
+		for ki, k := range kernels {
+			for _, method := range pipeline.Methods {
+				jobs = append(jobs, pipeline.Job{
+					Name: fmt.Sprintf("T2 regs=%d %s/%s", regs, k.Name, method),
+					Func: funcs[ki], Machine: m, Method: method, Init: k.State(22),
+				})
+			}
+		}
+	}
+	results, err := pipeline.RunJobs(jobs, Parallelism())
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, regs := range regsList {
 		total := map[pipeline.Method]int{}
 		spills := map[pipeline.Method]int{}
-		for _, k := range t1Kernels() {
-			u, err := k.Unit(2)
-			if err != nil {
-				return nil, err
-			}
+		for range kernels {
 			for _, method := range pipeline.Methods {
-				st, err := pipeline.EvaluateFunc(u.Func, m, method, k.State(22), 50_000_000, pipeline.Options{})
-				if err != nil {
-					return nil, fmt.Errorf("T2 regs=%d %s/%s: %w", regs, k.Name, method, err)
-				}
+				st := results[idx].Stats
+				idx++
 				total[method] += st.Cycles
 				spills[method] += st.SpillOps
 			}
@@ -117,20 +149,40 @@ func T3FUSweep() (*Table, error) {
 		Claim:  "§2: URSA maximizes utilization without ever exceeding the limits of the target machine",
 		Header: []string{"fus", "ursa", "prepass", "postpass", "integrated-list", "ursa-util"},
 	}
-	for _, fus := range []int{1, 2, 4, 8} {
+	fusList := []int{1, 2, 4, 8}
+	kernels := t1Kernels()
+	funcs := make([]*ir.Func, len(kernels))
+	for i, k := range kernels {
+		u, err := k.Unit(2)
+		if err != nil {
+			return nil, err
+		}
+		funcs[i] = u.Func
+	}
+	var jobs []pipeline.Job
+	for _, fus := range fusList {
 		m := machine.VLIW(fus, 8)
+		for ki, k := range kernels {
+			for _, method := range pipeline.Methods {
+				jobs = append(jobs, pipeline.Job{
+					Name: fmt.Sprintf("T3 fus=%d %s/%s", fus, k.Name, method),
+					Func: funcs[ki], Machine: m, Method: method, Init: k.State(33),
+				})
+			}
+		}
+	}
+	results, err := pipeline.RunJobs(jobs, Parallelism())
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, fus := range fusList {
 		total := map[pipeline.Method]int{}
 		issued := 0
-		for _, k := range t1Kernels() {
-			u, err := k.Unit(2)
-			if err != nil {
-				return nil, err
-			}
+		for range kernels {
 			for _, method := range pipeline.Methods {
-				st, err := pipeline.EvaluateFunc(u.Func, m, method, k.State(33), 50_000_000, pipeline.Options{})
-				if err != nil {
-					return nil, fmt.Errorf("T3 fus=%d %s/%s: %w", fus, k.Name, method, err)
-				}
+				st := results[idx].Stats
+				idx++
 				total[method] += st.Cycles
 				if method == pipeline.URSA {
 					issued += st.Issued
@@ -155,7 +207,7 @@ func T4MeasurementScaling() (*Table, error) {
 		ID:     "T4",
 		Title:  "measurement cost vs DAG size (reuse DAGs + prioritized matching)",
 		Claim:  "§3.1: the modified matching algorithm has worst-case time O(N^3); measurement is polynomial",
-		Header: []string{"nodes", "fu-width", "reg-width", "time/measure", "time ratio vs half size"},
+		Header: []string{"nodes", "fu-width", "reg-width"},
 	}
 	rng := rand.New(rand.NewSource(4))
 	var prev float64
@@ -178,9 +230,12 @@ func T4MeasurementScaling() (*Table, error) {
 			ratio = ftoa(per / prev)
 		}
 		prev = per
-		t.AddRow(itoa(n), itoa(fu), itoa(reg), fmt.Sprintf("%.0fµs", per), ratio)
+		// Wall-clock goes to stderr so that stdout (the tables) stays
+		// byte-identical across runs and worker counts.
+		fmt.Fprintf(os.Stderr, "# T4 n=%d: %.0fµs/measure, ratio vs half size %s\n", n, per, ratio)
+		t.AddRow(itoa(n), itoa(fu), itoa(reg))
 	}
-	t.Finding = "doubling N grows measurement by roughly 4-8x, consistent with the cubic worst case on dense closures"
+	t.Finding = "doubling N grows measurement by roughly 4-8x (timings on stderr), consistent with the cubic worst case on dense closures"
 	return t, nil
 }
 
@@ -195,24 +250,33 @@ func T5TransformOrdering() (*Table, error) {
 		Header: []string{"kernel", "integrated", "registers-first", "fus-first", "transforms(i/r/f)"},
 	}
 	policies := []core.Policy{core.Integrated, core.RegistersFirst, core.FUsFirst}
-	for _, k := range t1Kernels() {
+	kernels := t1Kernels()
+	var jobs []pipeline.Job
+	for _, k := range kernels {
 		u, err := k.Unit(2)
 		if err != nil {
 			return nil, err
 		}
+		for _, p := range policies {
+			jobs = append(jobs, pipeline.Job{
+				Name: fmt.Sprintf("T5 %s/%s", k.Name, p),
+				Func: u.Func, Machine: m, Method: pipeline.URSA,
+				Opts: pipeline.Options{Core: core.Options{Policy: p}},
+				Init: k.State(44),
+			})
+		}
+	}
+	results, err := pipeline.RunJobs(jobs, Parallelism())
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range kernels {
 		cycles := map[core.Policy]int{}
 		iters := map[core.Policy]int{}
-		for _, p := range policies {
-			total, titers := 0, 0
-			opts := pipeline.Options{Core: core.Options{Policy: p}}
-			st, err := pipeline.EvaluateFunc(u.Func, m, pipeline.URSA, k.State(44), 50_000_000, opts)
-			if err != nil {
-				return nil, fmt.Errorf("T5 %s/%s: %w", k.Name, p, err)
-			}
-			total = st.Cycles
-			titers = st.URSATransforms
-			cycles[p] = total
-			iters[p] = titers
+		for pi, p := range policies {
+			st := results[ki*len(policies)+pi].Stats
+			cycles[p] = st.Cycles
+			iters[p] = st.URSATransforms
 		}
 		t.AddRow(k.Name,
 			itoa(cycles[core.Integrated]), itoa(cycles[core.RegistersFirst]), itoa(cycles[core.FUsFirst]),
@@ -314,17 +378,29 @@ func T8ResourceClasses() (*Table, error) {
 		machine.Heterogeneous(2, 1, 1, 1, 6, 4),
 		machine.Heterogeneous(2, 2, 2, 1, 8, 8),
 	}
-	for _, name := range []string{"dot", "fir8", "fft2", "hydro"} {
+	names := []string{"dot", "fir8", "fft2", "hydro"}
+	var jobs []pipeline.Job
+	for _, name := range names {
 		k := workload.KernelByName(name)
+		u, err := k.Unit(2)
+		if err != nil {
+			return nil, err
+		}
 		for _, m := range machines {
-			u, err := k.Unit(2)
-			if err != nil {
-				return nil, err
-			}
-			st, err := pipeline.EvaluateFunc(u.Func, m, pipeline.URSA, k.State(77), 50_000_000, pipeline.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("T8 %s/%s: %w", name, m.Name, err)
-			}
+			jobs = append(jobs, pipeline.Job{
+				Name: fmt.Sprintf("T8 %s/%s", name, m.Name),
+				Func: u.Func, Machine: m, Method: pipeline.URSA, Init: k.State(77),
+			})
+		}
+	}
+	results, err := pipeline.RunJobs(jobs, Parallelism())
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		k := workload.KernelByName(name)
+		for mi, m := range machines {
+			st := results[ni*len(machines)+mi].Stats
 			t.AddRow(k.Name, m.Name, itoa(st.Cycles),
 				itoa(st.RegsUsed[ir.ClassInt]), itoa(st.RegsUsed[ir.ClassFP]),
 				itoa(st.SpillOps), fmt.Sprintf("%v", st.URSAFits))

@@ -111,35 +111,39 @@ func T10PipelinedUnits() (*Table, error) {
 		return m
 	}
 	nonpipe, pipe := mk(false), mk(true)
-	for _, name := range []string{"dot", "saxpy", "poly", "stencil3"} {
+	names := []string{"dot", "saxpy", "poly", "stencil3"}
+	combos := []struct {
+		m      *machine.Config
+		method pipeline.Method
+	}{
+		{nonpipe, pipeline.URSA}, {nonpipe, pipeline.Prepass},
+		{pipe, pipeline.URSA}, {pipe, pipeline.Prepass},
+	}
+	var jobs []pipeline.Job
+	for _, name := range names {
 		k := workload.KernelByName(name)
 		u, err := k.Unit(2)
 		if err != nil {
 			return nil, err
 		}
-		get := func(m *machine.Config, method pipeline.Method) (int, error) {
-			st, err := pipeline.EvaluateFunc(u.Func, m, method, k.State(99), 50_000_000, pipeline.Options{})
-			if err != nil {
-				return 0, fmt.Errorf("T10 %s/%s/%s: %w", name, m.Name, method, err)
-			}
-			return st.Cycles, nil
+		for _, c := range combos {
+			jobs = append(jobs, pipeline.Job{
+				Name: fmt.Sprintf("T10 %s/%s/%s", name, c.m.Name, c.method),
+				Func: u.Func, Machine: c.m, Method: c.method, Init: k.State(99),
+			})
 		}
-		nu, err := get(nonpipe, pipeline.URSA)
-		if err != nil {
-			return nil, err
+	}
+	results, err := pipeline.RunJobs(jobs, Parallelism())
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		k := workload.KernelByName(name)
+		row := make([]int, len(combos))
+		for ci := range combos {
+			row[ci] = results[ni*len(combos)+ci].Stats.Cycles
 		}
-		np, err := get(nonpipe, pipeline.Prepass)
-		if err != nil {
-			return nil, err
-		}
-		pu, err := get(pipe, pipeline.URSA)
-		if err != nil {
-			return nil, err
-		}
-		pp, err := get(pipe, pipeline.Prepass)
-		if err != nil {
-			return nil, err
-		}
+		nu, np, pu, pp := row[0], row[1], row[2], row[3]
 		t.AddRow(k.Name, itoa(nu), itoa(np), itoa(pu), itoa(pp), ftoa(float64(nu)/float64(pu)))
 	}
 	t.Finding = "pipelining buys up to ~1.25x at this width under multi-cycle latencies; URSA's allocation carries over unchanged because CanReuse_FU is the same relation — only unit occupancy differs"
@@ -209,19 +213,31 @@ func T12SuperscalarInOrder() (*Table, error) {
 		Claim:  "§6 (future work): handling pipeline interlocks so that superscalar architectures can be targeted",
 		Header: []string{"kernel", "ursa", "prepass", "postpass", "integrated-list", "ursa vs postpass"},
 	}
-	for _, name := range []string{"dot", "poly", "stencil3", "state", "horner"} {
+	names := []string{"dot", "poly", "stencil3", "state", "horner"}
+	var jobs []pipeline.Job
+	for _, name := range names {
 		k := workload.KernelByName(name)
 		u, err := k.Unit(2)
 		if err != nil {
 			return nil, err
 		}
-		cycles := map[pipeline.Method]int{}
 		for _, method := range pipeline.Methods {
-			st, err := pipeline.EvaluateFuncInOrder(u.Func, m, method, k.State(13), 50_000_000, pipeline.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("T12 %s/%s: %w", name, method, err)
-			}
-			cycles[method] = st.Cycles
+			jobs = append(jobs, pipeline.Job{
+				Name: fmt.Sprintf("T12 %s/%s", name, method),
+				Func: u.Func, Machine: m, Method: method, Init: k.State(13),
+				InOrder: true,
+			})
+		}
+	}
+	results, err := pipeline.RunJobs(jobs, Parallelism())
+	if err != nil {
+		return nil, err
+	}
+	for ni := range names {
+		k := workload.KernelByName(names[ni])
+		cycles := map[pipeline.Method]int{}
+		for mi, method := range pipeline.Methods {
+			cycles[method] = results[ni*len(pipeline.Methods)+mi].Stats.Cycles
 		}
 		t.AddRow(k.Name,
 			itoa(cycles[pipeline.URSA]), itoa(cycles[pipeline.Prepass]),

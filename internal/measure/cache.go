@@ -1,0 +1,99 @@
+package measure
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"ursa/internal/dag"
+	"ursa/internal/reuse"
+)
+
+// Cache is an incremental measurement cache: it memoizes Measure results
+// keyed by a canonical DAG+resource fingerprint (the graph's content hash
+// plus the resource's name). The URSA driver re-measures every resource
+// after every tentative and committed transformation; most transformations
+// leave most resources' reuse relations untouched, and the driver's
+// tentative-apply loop measures the same transformed graph several times
+// (once as a candidate, once more when the winner is committed, again in
+// plateau scans). All of those repeats become cache hits that skip both
+// the reuse-structure construction and the O(N³) prioritized matching.
+//
+// Cached results are shared: callers must treat a *Result obtained through
+// the cache as immutable (every current consumer does — excess-set
+// trimming and candidate generation copy what they modify). Node and item
+// ids are content-determined, so a Result computed on one clone of a graph
+// is valid verbatim for any other clone with equal fingerprint.
+//
+// A Cache is safe for concurrent use. Concurrent misses of the same key
+// may compute the result twice; both computations are identical (Measure
+// is deterministic), so whichever lands last wins harmlessly.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*Result
+	hits    uint64
+	misses  uint64
+}
+
+type cacheKey struct {
+	resource string
+	graph    [sha256.Size]byte
+}
+
+// maxEntries bounds the cache's memory: when an insertion would exceed it,
+// the whole map is dropped. Resets are count-based, hence deterministic.
+const maxEntries = 8192
+
+// NewCache returns an empty measurement cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]*Result)}
+}
+
+// Measure returns the measurement of the named resource on the graph,
+// reusing a cached result when the graph's fingerprint and resource match
+// a previous call. On a miss, build constructs the resource's reuse
+// structure (exactly core.Resource.Build) and the result is computed via
+// Measure and stored.
+func (c *Cache) Measure(g *dag.Graph, resource string, build func(*dag.Graph) *reuse.Reuse) *Result {
+	if c == nil {
+		return Measure(build(g))
+	}
+	key := cacheKey{resource: resource, graph: g.Fingerprint()}
+	c.mu.Lock()
+	if res, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return res
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	res := Measure(build(g))
+
+	c.mu.Lock()
+	if len(c.entries) >= maxEntries {
+		c.entries = make(map[cacheKey]*Result)
+	}
+	c.entries[key] = res
+	c.mu.Unlock()
+	return res
+}
+
+// Stats reports the hit and miss counts so far.
+func (c *Cache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached measurements.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

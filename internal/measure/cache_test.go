@@ -1,0 +1,131 @@
+package measure
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ursa/internal/dag"
+	"ursa/internal/ir"
+	"ursa/internal/reuse"
+	"ursa/internal/workload"
+)
+
+func buildFU(g *dag.Graph) *reuse.Reuse  { return reuse.FU(g, reuse.AllFUs) }
+func buildReg(g *dag.Graph) *reuse.Reuse { return reuse.Reg(g, ir.ClassInt) }
+
+// TestCacheHitsAndEquality: cached measurements equal uncached ones, a
+// re-measurement of an unchanged graph hits, clones hit too, and a
+// mutation misses.
+func TestCacheHitsAndEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := workload.RandomBlock(rng, 40, 0.3)
+	g, err := dag.Build(f.Blocks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache()
+	got := c.Measure(g, "fu", buildFU)
+	want := Measure(buildFU(g))
+	if got.Width != want.Width || !reflect.DeepEqual(got.Chains, want.Chains) ||
+		!reflect.DeepEqual(got.ChainOf, want.ChainOf) {
+		t.Fatalf("cached measurement differs from direct: %+v vs %+v", got, want)
+	}
+	if h, m := c.Stats(); h != 0 || m != 1 {
+		t.Fatalf("after first measure: hits=%d misses=%d", h, m)
+	}
+
+	// Same graph, same resource: hit. Same graph, other resource: miss.
+	if again := c.Measure(g, "fu", buildFU); again != got {
+		t.Fatal("re-measurement of unchanged graph did not return the cached result")
+	}
+	c.Measure(g, "reg.int", buildReg)
+	if h, m := c.Stats(); h != 1 || m != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1/2", h, m)
+	}
+
+	// A clone has the same fingerprint: hit.
+	if res := c.Measure(g.Clone(), "fu", buildFU); res != got {
+		t.Fatal("clone with equal content missed the cache")
+	}
+
+	// A structural change misses and measures fresh.
+	ns := g.InstrNodes()
+	a, b := ns[0], ns[len(ns)-1]
+	if !g.HasPath(a, b) && !g.HasPath(b, a) && !g.HasEdge(a, b) {
+		g.AddEdge(a, b, dag.EdgeSeq)
+	} else {
+		g.AddEdge(a, g.Leaf, dag.EdgeSeq)
+	}
+	mutated := c.Measure(g, "fu", buildFU)
+	direct := Measure(buildFU(g))
+	if mutated.Width != direct.Width || !reflect.DeepEqual(mutated.Chains, direct.Chains) {
+		t.Fatal("post-mutation cached measurement differs from direct")
+	}
+	if h, m := c.Stats(); h != 2 || m != 3 {
+		t.Fatalf("hits=%d misses=%d, want 2/3", h, m)
+	}
+}
+
+// TestCacheNilReceiver: a nil *Cache degrades to a plain measurement.
+func TestCacheNilReceiver(t *testing.T) {
+	g, err := dag.Build(workload.PaperExample(false).Blocks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c *Cache
+	res := c.Measure(g, "fu", buildFU)
+	if want := Measure(buildFU(g)); res.Width != want.Width {
+		t.Fatalf("nil cache width = %d, want %d", res.Width, want.Width)
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("nil cache stats %d/%d", h, m)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines over a mix of
+// graphs; every returned width must match the direct measurement. Run
+// under -race this doubles as the cache's race check.
+func TestCacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var graphs []*dag.Graph
+	var widths []int
+	for i := 0; i < 8; i++ {
+		f := workload.RandomBlock(rng, 24+i, 0.4)
+		g, err := dag.Build(f.Blocks[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+		widths = append(widths, Measure(buildFU(g)).Width)
+	}
+	c := NewCache()
+	var wg sync.WaitGroup
+	errc := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (w + i) % len(graphs)
+				if got := c.Measure(graphs[k], "fu", buildFU); got.Width != widths[k] {
+					errc <- "width mismatch under concurrency"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Fatal(msg)
+	}
+	if c.Len() != len(graphs) {
+		t.Fatalf("cache has %d entries, want %d", c.Len(), len(graphs))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ursa/internal/assign"
+	"ursa/internal/driver"
 	"ursa/internal/ir"
 	"ursa/internal/machine"
 	"ursa/internal/vliwsim"
@@ -24,6 +25,11 @@ type FuncProgram struct {
 // CompileFunc compiles every basic block of the function through the
 // selected pipeline. The returned stats aggregate the static per-block
 // numbers (max register usage, total spill ops, total words).
+//
+// With opts.Workers outside [0, 1] the blocks compile concurrently on a
+// bounded worker pool; every block works on its own clone of the function
+// (see Compile), results are collected by block index, and the emitted
+// program is byte-identical to the sequential one.
 func CompileFunc(f *ir.Func, m *machine.Config, method Method, opts Options) (*FuncProgram, *Stats, error) {
 	fp := &FuncProgram{
 		Source:  f,
@@ -31,14 +37,25 @@ func CompileFunc(f *ir.Func, m *machine.Config, method Method, opts Options) (*F
 		Method:  method,
 		labels:  make(map[string]int, len(f.Blocks)),
 	}
+	type compiled struct {
+		prog *assign.Program
+		st   *Stats
+	}
+	outs, _, err := driver.Map(len(f.Blocks), func(i int) (compiled, error) {
+		prog, st, err := Compile(f.Blocks[i], m, method, opts)
+		if err != nil {
+			return compiled{}, fmt.Errorf("pipeline: block %s: %w", f.Blocks[i].Label, err)
+		}
+		return compiled{prog, st}, nil
+	}, driver.Options{Workers: blockWorkers(opts.Workers)})
+	if err != nil {
+		return nil, nil, err
+	}
 	agg := &Stats{Method: method, Machine: m.Name, URSAFits: true}
 	for i, b := range f.Blocks {
 		fp.labels[b.Label] = i
-		prog, st, err := Compile(b, m, method, opts)
-		if err != nil {
-			return nil, nil, fmt.Errorf("pipeline: block %s: %w", b.Label, err)
-		}
-		fp.Blocks = append(fp.Blocks, prog)
+		st := outs[i].st
+		fp.Blocks = append(fp.Blocks, outs[i].prog)
 		agg.Words += st.Words
 		agg.SpillOps += st.SpillOps
 		agg.URSATransforms += st.URSATransforms
@@ -52,6 +69,19 @@ func CompileFunc(f *ir.Func, m *machine.Config, method Method, opts Options) (*F
 		}
 	}
 	return fp, agg, nil
+}
+
+// blockWorkers maps the Options.Workers convention (0/1 sequential, <0
+// GOMAXPROCS, n>1 bounded) onto driver.Options.Workers (<=0 GOMAXPROCS).
+func blockWorkers(w int) int {
+	switch {
+	case w == 0 || w == 1:
+		return 1
+	case w < 0:
+		return 0
+	default:
+		return w
+	}
 }
 
 // FuncResult reports a whole-function execution.

@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ursa/internal/driver"
+	"ursa/internal/frontend"
+	"ursa/internal/machine"
+	"ursa/internal/workload"
+)
+
+// multiBlockFunc returns a kernel that lowers to several basic blocks.
+func multiBlockFunc(t *testing.T) *workload.Kernel {
+	t.Helper()
+	k := workload.KernelByName("matmul4")
+	if k == nil {
+		t.Fatal("matmul4 kernel missing")
+	}
+	return k
+}
+
+func renderFunc(t *testing.T, workers int, method Method) string {
+	t.Helper()
+	k := multiBlockFunc(t)
+	u, err := frontend.Compile(k.Source, frontend.Options{Unroll: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, st, err := CompileFunc(u.Func, machine.VLIW(4, 6), method, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, prog := range fp.Blocks {
+		sb.WriteString(prog.String())
+	}
+	sb.WriteString(st.Row())
+	return sb.String()
+}
+
+// TestCompileFuncParallelIdentical: the emitted code and statistics of a
+// multi-block function are byte-identical at -j 1 and -j 8, for URSA and
+// a baseline.
+func TestCompileFuncParallelIdentical(t *testing.T) {
+	for _, method := range []Method{URSA, Prepass} {
+		seq := renderFunc(t, 1, method)
+		for run := 0; run < 3; run++ {
+			if par := renderFunc(t, 8, method); par != seq {
+				t.Fatalf("%s: -j8 output differs from -j1 (run %d)", method, run)
+			}
+		}
+	}
+}
+
+// TestRunJobsDeterministic: a function × method batch reports identically
+// at every worker count, with the jobs sharing one *ir.Func and one
+// *ir.State.
+func TestRunJobsDeterministic(t *testing.T) {
+	k := workload.KernelByName("poly")
+	u, err := frontend.Compile(k.Source, frontend.Options{Unroll: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.VLIW(4, 6)
+	init := k.State(5)
+	var jobs []Job
+	for _, method := range Methods {
+		jobs = append(jobs, Job{Name: k.Name, Func: u.Func, Machine: m, Method: method, Init: init})
+	}
+	render := func(workers int) string {
+		results, err := RunJobs(jobs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, r := range results {
+			sb.WriteString(r.Stats.Row())
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	seq := render(1)
+	for run := 0; run < 3; run++ {
+		if par := render(8); par != seq {
+			t.Fatalf("-j8 stats differ from -j1:\n%s\nvs\n%s", par, seq)
+		}
+	}
+}
+
+// TestRunJobsPanicIsolation: a job that panics (nil Func) reports a
+// PanicError; with KeepGoing semantics unavailable at this level, the
+// batch is fail-fast and later jobs are skipped, but the process and the
+// in-flight jobs survive.
+func TestRunJobsPanicIsolation(t *testing.T) {
+	k := workload.KernelByName("dot")
+	u, err := frontend.Compile(k.Source, frontend.Options{Unroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.VLIW(2, 8)
+	jobs := []Job{
+		{Name: "bad", Func: nil, Machine: m, Method: URSA}, // panics in CompileFunc
+		{Name: "good", Func: u.Func, Machine: m, Method: Prepass},
+	}
+	results, err := RunJobs(jobs, 1)
+	if err == nil {
+		t.Fatal("want a batch error from the panicking job")
+	}
+	var pe *driver.PanicError
+	if !errors.As(results[0].Err, &pe) {
+		t.Fatalf("job 0 error = %v, want PanicError", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, driver.ErrSkipped) {
+		t.Fatalf("job 1 error = %v, want ErrSkipped (fail-fast)", results[1].Err)
+	}
+}

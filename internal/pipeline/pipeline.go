@@ -66,6 +66,11 @@ type Options struct {
 	// Optimize runs the block-local scalar optimizations (constant
 	// folding, copy propagation, CSE, DCE) before compilation.
 	Optimize bool
+	// Workers bounds the number of basic blocks CompileFunc compiles
+	// concurrently. Zero or one compiles sequentially; negative means
+	// GOMAXPROCS. Results are collected by block index, so the emitted
+	// program and statistics are identical at every worker count.
+	Workers int
 }
 
 // Stats reports one compilation (and, after Evaluate, its execution).
@@ -102,10 +107,13 @@ func Compile(b *ir.Block, m *machine.Config, method Method, opts Options) (*assi
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}
+	// Compile against a private clone of the containing function: spill
+	// transformations allocate fresh virtual registers in the function's
+	// tables, and cloning keeps the caller's function intact and makes
+	// concurrent compilations of the same function race-free.
+	nf := b.Func.Clone()
+	b = nf.Block(b.Label)
 	if opts.Optimize {
-		// Optimize a private copy; the caller's block stays intact.
-		nf := b.Func.Clone()
-		b = nf.Block(b.Label)
 		opt.Block(b)
 	}
 	if ins := ir.LiveIns(b); len(ins) > 0 {

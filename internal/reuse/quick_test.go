@@ -84,11 +84,13 @@ func TestQuickRegWidthBounds(t *testing.T) {
 	}
 }
 
-// TestQuickFUWidthDominatesSchedulePressure: the worst-case register width
-// bounds the issue-width... more precisely, the FU width bounds the number
-// of instructions any cycle can hold, which Validate checks downstream;
-// here we verify the cheaper invariant that adding a random sequence edge
-// never increases either width (§5).
+// TestQuickSequencingMonotone: adding a random sequence edge never
+// increases the FU width (§5) — the edge only adds reachability pairs to
+// CanReuse_FU, so antichains can only shrink. The register width carries
+// no such theorem: it is measured over the heuristic Kill() selection
+// (greedy minimum cover of an NP-complete problem, Thm. 2), and a new
+// edge can shift the selected kills to a wider relation. For registers we
+// check the sound bounds only.
 func TestQuickSequencingMonotone(t *testing.T) {
 	f := func(bg blockGen, a, b uint8) bool {
 		g := bg.g
@@ -99,12 +101,15 @@ func TestQuickSequencingMonotone(t *testing.T) {
 			return true // not a legal new edge; trivially fine
 		}
 		fu0 := measure.Measure(reuse.FU(g, reuse.AllFUs)).Width
-		rg0 := measure.Measure(reuse.Reg(g, ir.ClassInt)).Width
 		cl := g.Clone()
 		cl.AddEdge(x, y, dag.EdgeSeq)
 		fu1 := measure.Measure(reuse.FU(cl, reuse.AllFUs)).Width
-		rg1 := measure.Measure(reuse.Reg(cl, ir.ClassInt)).Width
-		return fu1 <= fu0 && rg1 <= rg0
+		if fu1 > fu0 {
+			return false
+		}
+		r := reuse.Reg(cl, ir.ClassInt)
+		rg1 := measure.Measure(r).Width
+		return rg1 >= 1 && rg1 <= r.NumItems()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)

@@ -372,6 +372,29 @@ func KernelByName(name string) *Kernel {
 	return nil
 }
 
+// SuiteEntry pairs a kernel with its compiled function.
+type SuiteEntry struct {
+	Kernel *Kernel
+	Func   *ir.Func
+}
+
+// Suite compiles every kernel at the given unroll factor and returns the
+// pairs in suite order — the multi-function input for batch compilation
+// drivers and benchmarks. The returned functions may be shared across
+// concurrent compilations (the pipeline clones per block).
+func Suite(unroll int) ([]SuiteEntry, error) {
+	kernels := Kernels()
+	out := make([]SuiteEntry, 0, len(kernels))
+	for _, k := range kernels {
+		u, err := k.Unit(unroll)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", k.Name, err)
+		}
+		out = append(out, SuiteEntry{Kernel: k, Func: u.Func})
+	}
+	return out, nil
+}
+
 // RandomBlock generates a seeded random straight-line closed block with n
 // value-producing instructions: loads, immediate ops and binary ALU ops,
 // with all otherwise-dead values consumed by stores. The density parameter

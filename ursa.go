@@ -83,6 +83,13 @@ type (
 	AllocOptions = core.Options
 	// Policy selects how register and FU transformations interleave.
 	Policy = core.Policy
+	// CompileOptions configures a pipeline run (optimization, URSA driver
+	// tuning, and the worker count for per-block parallel compilation).
+	CompileOptions = pipeline.Options
+	// Job is one independent compilation work item for RunJobs.
+	Job = pipeline.Job
+	// JobResult carries one job's outputs.
+	JobResult = pipeline.JobResult
 )
 
 // Compilation pipelines.
@@ -212,6 +219,22 @@ func EvaluateBlock(b *Block, m *Machine, method Method, init *State) (*Stats, er
 // CompileFunc compiles every block of a function through the pipeline.
 func CompileFunc(f *Func, m *Machine, method Method) (*FuncProgram, *Stats, error) {
 	return pipeline.CompileFunc(f, m, method, pipeline.Options{})
+}
+
+// CompileFuncOpts is CompileFunc with explicit options. Setting
+// opts.Workers compiles the function's blocks concurrently; the emitted
+// program is identical at every worker count.
+func CompileFuncOpts(f *Func, m *Machine, method Method, opts CompileOptions) (*FuncProgram, *Stats, error) {
+	return pipeline.CompileFunc(f, m, method, opts)
+}
+
+// RunJobs compiles (and, for jobs with an Init state, executes and
+// verifies) a batch of independent function × method jobs across the given
+// number of workers (0 or negative: GOMAXPROCS; 1: inline). Results arrive
+// in submission order regardless of the worker count; the batch is
+// fail-fast, and a panic in one job is captured as that job's error.
+func RunJobs(jobs []Job, workers int) ([]JobResult, error) {
+	return pipeline.RunJobs(jobs, workers)
 }
 
 // EvaluateFunc compiles and runs a whole function, verifying its memory
