@@ -1,0 +1,194 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// RunConfig configures a fuzzing campaign.
+type RunConfig struct {
+	N       int   // number of cases (default 1000)
+	Seed    int64 // base seed; case i uses Seed+i, so campaigns are resumable
+	Gen     GenConfig
+	Oracles []string // nil means all
+	// Shrink minimizes every reported failure before it is returned.
+	Shrink bool
+	// OutDir, when non-empty, receives one .ursafuzz repro file per
+	// reported failure.
+	OutDir string
+	// MaxRepros bounds the shrunk repros kept per oracle (default 5);
+	// further failing cases of the same oracle are only counted.
+	MaxRepros int
+	// Workers bounds concurrent case checking; 0 means GOMAXPROCS.
+	Workers int
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// Found is one failing case, shrunk and serialized if so configured.
+type Found struct {
+	Oracle string
+	Detail string
+	Seed   int64
+	Case   *Case
+	Path   string // repro file, when OutDir was set
+}
+
+// Summary reports a campaign.
+type Summary struct {
+	Cases     int
+	Exercised map[string]int // property checks per oracle, summed
+	Found     []Found
+	// Suppressed counts failing cases beyond MaxRepros per oracle: evidence
+	// the bug is easy to hit, without drowning the report.
+	Suppressed int
+}
+
+// OK reports whether the campaign found no violations at all.
+func (s *Summary) OK() bool { return len(s.Found) == 0 && s.Suppressed == 0 }
+
+// String renders a one-screen campaign summary.
+func (s *Summary) String() string {
+	names := make([]string, 0, len(s.Exercised))
+	for name := range s.Exercised {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("checked %d cases:", s.Cases)
+	for _, name := range names {
+		out += fmt.Sprintf(" %s=%d", name, s.Exercised[name])
+	}
+	out += fmt.Sprintf("; violations: %d reported, %d suppressed", len(s.Found), s.Suppressed)
+	return out
+}
+
+type caseResult struct {
+	idx  int
+	seed int64
+	c    *Case
+	rep  *Report
+}
+
+// Run executes the campaign: generate N seeded cases, check each against
+// the oracles (in parallel), then shrink and serialize the failures in
+// deterministic case order.
+func Run(cfg RunConfig) (*Summary, error) {
+	if cfg.N <= 0 {
+		cfg.N = 1000
+	}
+	if cfg.MaxRepros <= 0 {
+		cfg.MaxRepros = 5
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.N {
+		workers = cfg.N
+	}
+
+	sum := &Summary{Cases: cfg.N, Exercised: map[string]int{}}
+	results := make([]caseResult, cfg.N)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				seed := cfg.Seed + int64(i)
+				c := Generate(rand.New(rand.NewSource(seed)), cfg.Gen)
+				c.Seed = seed
+				c.Name = fmt.Sprintf("%s_s%d", c.Name, seed)
+				results[i] = caseResult{idx: i, seed: seed, c: c, rep: Check(c, cfg.Oracles)}
+			}
+		}()
+	}
+	for i := 0; i < cfg.N; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	perOracle := map[string]int{}
+	for _, r := range results {
+		for name, n := range r.rep.Exercised {
+			sum.Exercised[name] += n
+		}
+		if !r.rep.Failed() {
+			continue
+		}
+		sortViolations(r.rep.Violations)
+		// One report per (case, oracle): a single bad case often trips the
+		// same oracle on several resources or pipelines.
+		seen := map[string]bool{}
+		for _, v := range r.rep.Violations {
+			if seen[v.Oracle] {
+				continue
+			}
+			seen[v.Oracle] = true
+			if perOracle[v.Oracle] >= cfg.MaxRepros {
+				sum.Suppressed++
+				continue
+			}
+			perOracle[v.Oracle]++
+			f := Found{Oracle: v.Oracle, Detail: v.Detail, Seed: r.seed, Case: r.c}
+			logf(cfg.Log, "case seed=%d: %s", r.seed, Violation{v.Oracle, v.Detail})
+			if cfg.Shrink {
+				f.Case = shrinkFailure(r.c, v.Oracle)
+				f.Detail = firstDetail(f.Case, v.Oracle, f.Detail)
+				logf(cfg.Log, "  shrunk to %d instrs on %s", len(f.Case.Block().Instrs), f.Case.Mach)
+			}
+			if cfg.OutDir != "" {
+				name := fmt.Sprintf("shrunk-%s-s%d", v.Oracle, r.seed)
+				path, err := WriteCase(cfg.OutDir, name, f.Case)
+				if err != nil {
+					return nil, err
+				}
+				f.Path = path
+				logf(cfg.Log, "  wrote %s", path)
+			}
+			sum.Found = append(sum.Found, f)
+		}
+	}
+	logf(cfg.Log, "%s", sum)
+	return sum, nil
+}
+
+// shrinkFailure minimizes the case while the named oracle still fails, and
+// normalizes the result when that preserves the failure.
+func shrinkFailure(c *Case, oracle string) *Case {
+	fails := func(x *Case) bool { return Check(x, []string{oracle}).FailedOracle(oracle) }
+	small := Shrink(c, fails)
+	if norm, err := Normalize(small); err == nil {
+		norm.Seed = small.Seed
+		norm.Name = small.Name
+		if fails(norm) {
+			return norm
+		}
+	}
+	return small
+}
+
+// firstDetail re-runs the oracle on the shrunk case and returns its first
+// violation detail (the original detail if the re-run is somehow clean).
+func firstDetail(c *Case, oracle, fallback string) string {
+	rep := Check(c, []string{oracle})
+	sortViolations(rep.Violations)
+	for _, v := range rep.Violations {
+		if v.Oracle == oracle {
+			return v.Detail
+		}
+	}
+	return fallback
+}
+
+func logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}

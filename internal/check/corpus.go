@@ -1,0 +1,183 @@
+package check
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ursa/internal/ir"
+)
+
+// The .ursafuzz corpus format is a small header of directives followed by
+// "---" and the program in the textual IR accepted by ir.Parse:
+//
+//	# any comment
+//	machine vliw width=2 intregs=3 fpregs=3 lat=unit pipelined=false
+//	---
+//	func f {
+//	entry:
+//		v1 = load A[0]
+//		...
+//	}
+//
+// The initial machine state is not recorded: InitState is canonical, so a
+// case is reproducible from this file alone.
+
+// FormatCase renders the case in .ursafuzz form.
+func FormatCase(c *Case) string {
+	var sb strings.Builder
+	if c.Name != "" {
+		fmt.Fprintf(&sb, "# %s", c.Name)
+		if c.Seed != 0 {
+			fmt.Fprintf(&sb, " (seed %d)", c.Seed)
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString(c.Mach.String())
+	sb.WriteString("\n---\n")
+	sb.WriteString(c.Func.String())
+	return sb.String()
+}
+
+// ParseCase parses the .ursafuzz form.
+func ParseCase(data string) (*Case, error) {
+	head, body, found := strings.Cut(data, "\n---\n")
+	if !found {
+		return nil, fmt.Errorf("check: corpus case missing --- separator")
+	}
+	c := &Case{}
+	for _, line := range strings.Split(head, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "machine "):
+			spec, err := parseMachineSpec(line)
+			if err != nil {
+				return nil, err
+			}
+			c.Mach = spec
+		default:
+			return nil, fmt.Errorf("check: unknown corpus directive %q", line)
+		}
+	}
+	if c.Mach == nil {
+		return nil, fmt.Errorf("check: corpus case has no machine directive")
+	}
+	f, err := ir.Parse(body)
+	if err != nil {
+		return nil, fmt.Errorf("check: corpus program: %w", err)
+	}
+	if len(f.Blocks) != 1 {
+		return nil, fmt.Errorf("check: corpus program must have exactly one block, got %d", len(f.Blocks))
+	}
+	c.Name = f.Name
+	c.Func = f
+	return c, nil
+}
+
+func parseMachineSpec(line string) (*MachineSpec, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "machine" {
+		return nil, fmt.Errorf("check: bad machine directive %q", line)
+	}
+	s := &MachineSpec{}
+	switch fields[1] {
+	case "vliw":
+	case "het":
+		s.Het = true
+	default:
+		return nil, fmt.Errorf("check: unknown machine family %q", fields[1])
+	}
+	for _, kv := range fields[2:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("check: bad machine field %q", kv)
+		}
+		switch key {
+		case "lat":
+			switch val {
+			case "unit":
+			case "realistic":
+				s.Realistic = true
+			default:
+				return nil, fmt.Errorf("check: unknown latency model %q", val)
+			}
+			continue
+		case "pipelined":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return nil, fmt.Errorf("check: bad pipelined value %q", val)
+			}
+			s.Pipelined = b
+			continue
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return nil, fmt.Errorf("check: bad machine field %q", kv)
+		}
+		switch key {
+		case "width":
+			s.Width = n
+		case "ialu":
+			s.IALU = n
+		case "falu":
+			s.FALU = n
+		case "mem":
+			s.MEM = n
+		case "br":
+			s.BR = n
+		case "intregs":
+			s.IntRegs = n
+		case "fpregs":
+			s.FPRegs = n
+		default:
+			return nil, fmt.Errorf("check: unknown machine field %q", key)
+		}
+	}
+	return s, nil
+}
+
+// LoadCorpus reads every .ursafuzz file in dir, sorted by name. A missing
+// directory is an empty corpus, not an error.
+func LoadCorpus(dir string) (map[string]*Case, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*Case{}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ursafuzz") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		c, err := ParseCase(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = c
+	}
+	return out, nil
+}
+
+// WriteCase writes the case to dir/name.ursafuzz.
+func WriteCase(dir, name string, c *Case) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".ursafuzz")
+	return path, os.WriteFile(path, []byte(FormatCase(c)), 0o644)
+}

@@ -1,0 +1,58 @@
+package check
+
+import (
+	"testing"
+)
+
+// TestCorpus deterministically replays every committed .ursafuzz case — the
+// shrunk repros of bugs the fuzzer has found, plus curated material for each
+// oracle — through the full oracle catalog. Any violation is a regression.
+func TestCorpus(t *testing.T) {
+	corpus, err := LoadCorpus("testdata/fuzz")
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("testdata/fuzz is empty; the corpus must ship with the repo")
+	}
+	exercised := map[string]int{}
+	for name, c := range corpus {
+		t.Run(name, func(t *testing.T) {
+			rep := Check(c, nil)
+			for _, v := range rep.Violations {
+				t.Errorf("%s\n%s", v, FormatCase(c))
+			}
+			for oracle, n := range rep.Exercised {
+				exercised[oracle] += n
+			}
+		})
+	}
+	// The corpus as a whole must put every oracle to work: a case that
+	// compiles nowhere exercises legality on zero pipelines, so coverage is
+	// asserted across the set, not per file.
+	for _, oracle := range AllOracles {
+		if exercised[oracle] == 0 {
+			t.Errorf("corpus never exercises the %s oracle", oracle)
+		}
+	}
+}
+
+// TestCorpusRoundTrip pins the corpus format: every committed case must
+// survive parse -> format -> parse unchanged, so shrunk repro files written
+// by the campaign stay loadable.
+func TestCorpusRoundTrip(t *testing.T) {
+	corpus, err := LoadCorpus("testdata/fuzz")
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	for name, c := range corpus {
+		c2, err := ParseCase(FormatCase(c))
+		if err != nil {
+			t.Errorf("%s: reparse: %v", name, err)
+			continue
+		}
+		if *c2.Mach != *c.Mach || c2.Func.String() != c.Func.String() {
+			t.Errorf("%s: case changed across round trip", name)
+		}
+	}
+}

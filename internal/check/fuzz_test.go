@@ -1,0 +1,38 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzWidth drives the width oracle through the native fuzzing engine: the
+// fuzzed seed parameterizes the deterministic case generator, and every
+// generated case's measured widths must agree with Hopcroft–Karp and (on
+// small instances) exhaustive antichain enumeration.
+func FuzzWidth(f *testing.F) {
+	for s := int64(1); s <= 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := Generate(rand.New(rand.NewSource(seed)), GenConfig{MaxInstrs: 14})
+		rep := Check(c, []string{OracleWidth})
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d: %s\n%s", seed, v, FormatCase(c))
+		}
+	})
+}
+
+// FuzzCompileRun drives the whole-pipeline oracles: every method must emit
+// machine-legal code that reproduces the sequential interpreter bit for bit.
+func FuzzCompileRun(f *testing.F) {
+	for s := int64(1); s <= 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := Generate(rand.New(rand.NewSource(seed)), GenConfig{MaxInstrs: 14})
+		rep := Check(c, []string{OracleLegal, OracleDiffExec})
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d: %s\n%s", seed, v, FormatCase(c))
+		}
+	})
+}

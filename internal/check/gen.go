@@ -1,0 +1,381 @@
+// Package check is URSA's differential-verification subsystem: a seeded
+// generator of random straight-line programs and machine configurations, a
+// catalog of property oracles that cross-check every pipeline stage against
+// an independent (usually brute-force) implementation, and a shrinking
+// harness that reduces any failure to a minimal reproducing case.
+//
+// The oracles mirror the paper's correctness claims. The measured maximum
+// requirement must equal the true width of the reuse partial order
+// (Dilworth / Theorem 1), checked against exhaustive antichain enumeration
+// and an independent Hopcroft–Karp matching. Reduction transformations must
+// never raise the requirement they claim to lower (§4). Emitted VLIW code
+// must respect the machine's functional-unit and register-file limits, and
+// must compute exactly what the sequential interpreter computes — for every
+// pipeline, not just URSA's.
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+)
+
+// Case is one self-contained verification input: a straight-line program
+// (single block, no register live-ins) plus the machine it targets. Cases
+// round-trip through the textual .ursafuzz format (see corpus.go).
+type Case struct {
+	Name string
+	Seed int64 // generator seed, 0 for hand-written or corpus cases
+	Func *ir.Func
+	Mach *MachineSpec
+}
+
+// Block returns the case's single block.
+func (c *Case) Block() *ir.Block { return c.Func.Blocks[0] }
+
+// Clone deep-copies the case (the machine spec is immutable by convention
+// and shared).
+func (c *Case) Clone() *Case {
+	return &Case{Name: c.Name, Seed: c.Seed, Func: c.Func.Clone(), Mach: c.Mach}
+}
+
+// MachineSpec is a serializable machine description. machine.Config itself
+// holds a latency func, so corpus files record this spec instead and
+// rebuild the config on load.
+type MachineSpec struct {
+	Het                  bool // heterogeneous units
+	Width                int  // homogeneous issue width (Het == false)
+	IALU, FALU, MEM, BR  int  // per-class units (Het == true)
+	IntRegs, FPRegs      int
+	Realistic, Pipelined bool
+}
+
+// Config materializes the machine description.
+func (s *MachineSpec) Config() *machine.Config {
+	var m *machine.Config
+	if s.Het {
+		m = machine.Heterogeneous(s.IALU, s.FALU, s.MEM, s.BR, s.IntRegs, s.FPRegs)
+	} else {
+		m = machine.VLIW(s.Width, s.IntRegs)
+		m.Regs[ir.ClassFP] = s.FPRegs
+	}
+	if s.Realistic {
+		m.Latency = machine.RealisticLatency
+	}
+	m.Pipelined = s.Pipelined
+	return m
+}
+
+// String renders the spec in the corpus directive form parsed by
+// parseMachineSpec.
+func (s *MachineSpec) String() string {
+	lat := "unit"
+	if s.Realistic {
+		lat = "realistic"
+	}
+	if s.Het {
+		return fmt.Sprintf("machine het ialu=%d falu=%d mem=%d br=%d intregs=%d fpregs=%d lat=%s pipelined=%v",
+			s.IALU, s.FALU, s.MEM, s.BR, s.IntRegs, s.FPRegs, lat, s.Pipelined)
+	}
+	return fmt.Sprintf("machine vliw width=%d intregs=%d fpregs=%d lat=%s pipelined=%v",
+		s.Width, s.IntRegs, s.FPRegs, lat, s.Pipelined)
+}
+
+// GenConfig tunes random case generation. The zero value selects the
+// defaults noted on each field.
+type GenConfig struct {
+	MinInstrs int // minimum instructions per program (default 3)
+	MaxInstrs int // maximum instructions per program (default 20)
+	// IntOnly suppresses floating-point operations, concentrating the
+	// search on one register class.
+	IntOnly bool
+	// NoBranch suppresses the occasional terminating ret/branch.
+	NoBranch bool
+}
+
+func (cfg GenConfig) withDefaults() GenConfig {
+	if cfg.MinInstrs <= 0 {
+		cfg.MinInstrs = 3
+	}
+	if cfg.MaxInstrs < cfg.MinInstrs {
+		cfg.MaxInstrs = cfg.MinInstrs + 17
+	}
+	return cfg
+}
+
+// Input-array conventions: loads read A (int) and F (fp); stores write O
+// and P. InitState fills the input arrays deterministically, so a case is
+// fully reproducible from its program text alone.
+const (
+	intArray = "A"
+	fpArray  = "F"
+	intOut   = "O"
+	fpOut    = "P"
+
+	// initArrLen is how many cells of each input array InitState fills.
+	initArrLen = 16
+)
+
+// InitState returns the canonical initial machine state for a case: input
+// arrays hold small deterministic values, everything else is zero.
+func InitState() *ir.State {
+	st := ir.NewState()
+	for i := int64(0); i < initArrLen; i++ {
+		st.StoreInt(intArray, i, 3*i+1)
+		st.StoreFloat(fpArray, i, float64(i)+0.5)
+	}
+	return st
+}
+
+var (
+	intBinOps = []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem, ir.And, ir.Or,
+		ir.Xor, ir.Shl, ir.Shr, ir.CmpEQ, ir.CmpLT, ir.CmpLE}
+	intImmOps = []ir.Op{ir.AddI, ir.SubI, ir.MulI, ir.DivI, ir.RemI, ir.AndI,
+		ir.OrI, ir.XorI, ir.ShlI, ir.ShrI, ir.CmpEQI, ir.CmpLTI, ir.CmpLEI}
+	fpBinOps = []ir.Op{ir.FAdd, ir.FSub, ir.FMul, ir.FDiv}
+	fpImmOps = []ir.Op{ir.FAddI, ir.FSubI, ir.FMulI, ir.FDivI}
+)
+
+// shape biases the generated DAG's form: how often an operand is a recent
+// value (deep chains) versus any prior value (wide, independent chains).
+type shape struct {
+	name       string
+	recentBias float64 // probability an operand is one of the 3 newest values
+	memRatio   float64 // probability an instruction is a load
+	storeRatio float64 // probability an instruction is a store
+	fanout     float64 // probability of reusing an already multiply-used value
+}
+
+var shapes = []shape{
+	{name: "deep", recentBias: 0.85, memRatio: 0.15, storeRatio: 0.05, fanout: 0.1},
+	{name: "wide", recentBias: 0.10, memRatio: 0.35, storeRatio: 0.10, fanout: 0.2},
+	{name: "diamond", recentBias: 0.45, memRatio: 0.20, storeRatio: 0.10, fanout: 0.6},
+	{name: "mixed", recentBias: 0.50, memRatio: 0.25, storeRatio: 0.15, fanout: 0.3},
+}
+
+// Generate produces one random case from the rng. Every value the rng can
+// take yields a structurally valid case: single block, SSA, no register
+// live-ins, total (trap-free) operations only.
+func Generate(rng *rand.Rand, cfg GenConfig) *Case {
+	cfg = cfg.withDefaults()
+	sh := shapes[rng.Intn(len(shapes))]
+	n := cfg.MinInstrs + rng.Intn(cfg.MaxInstrs-cfg.MinInstrs+1)
+
+	f := ir.NewFunc(fmt.Sprintf("fz_%s", sh.name))
+	b := f.NewBlock("entry")
+
+	var ints, fps []ir.VReg
+	pick := func(pool []ir.VReg) ir.VReg {
+		if len(pool) == 0 {
+			panic("check: pick from empty pool")
+		}
+		if rng.Float64() < sh.recentBias {
+			k := len(pool) - 1 - rng.Intn(minInt(3, len(pool)))
+			return pool[k]
+		}
+		return pool[rng.Intn(len(pool))]
+	}
+	newInt := func() ir.VReg { v := f.NewReg("", ir.ClassInt); ints = append(ints, v); return v }
+	newFP := func() ir.VReg { v := f.NewReg("", ir.ClassFP); fps = append(fps, v); return v }
+
+	emitLoad := func() {
+		// Operands are picked before the destination is created, so an
+		// instruction can never reference its own result.
+		off := int64(rng.Intn(initArrLen))
+		idx := ir.NoReg
+		if len(ints) > 0 && rng.Intn(6) == 0 {
+			idx = pick(ints)
+		}
+		if !cfg.IntOnly && rng.Intn(3) == 0 {
+			b.Append(&ir.Instr{Op: ir.LoadF, Dst: newFP(), Sym: fpArray, Off: off, Index: idx})
+			return
+		}
+		b.Append(&ir.Instr{Op: ir.Load, Dst: newInt(), Sym: intArray, Off: off, Index: idx})
+	}
+	emitConst := func() {
+		if !cfg.IntOnly && rng.Intn(3) == 0 {
+			b.Append(&ir.Instr{Op: ir.ConstF, Dst: newFP(), FImm: float64(rng.Intn(9)) - 2.5})
+			return
+		}
+		b.Append(&ir.Instr{Op: ir.ConstI, Dst: newInt(), Imm: int64(rng.Intn(12) - 4)})
+	}
+	emitStore := func() {
+		if !cfg.IntOnly && len(fps) > 0 && rng.Intn(3) == 0 {
+			b.Append(&ir.Instr{Op: ir.StoreF, Args: []ir.VReg{pick(fps)}, Sym: fpOut, Off: int64(rng.Intn(8))})
+			return
+		}
+		if len(ints) == 0 {
+			return
+		}
+		b.Append(&ir.Instr{Op: ir.Store, Args: []ir.VReg{pick(ints)}, Sym: intOut, Off: int64(rng.Intn(8))})
+	}
+	emitArith := func() {
+		// Favor integer ops; fp and conversions appear when available. As in
+		// emitLoad, operands are picked before the destination exists.
+		if !cfg.IntOnly && len(fps) > 0 && rng.Intn(3) == 0 {
+			switch rng.Intn(5) {
+			case 0:
+				a := pick(fps)
+				b.Append(&ir.Instr{Op: ir.FNeg, Dst: newFP(), Args: []ir.VReg{a}})
+			case 1:
+				a := pick(fps)
+				b.Append(&ir.Instr{Op: fpImmOps[rng.Intn(len(fpImmOps))], Dst: newFP(),
+					Args: []ir.VReg{a}, FImm: float64(rng.Intn(7)) - 1.5})
+			case 2:
+				a := pick(fps)
+				b.Append(&ir.Instr{Op: ir.FtoI, Dst: newInt(), Args: []ir.VReg{a}})
+			case 3:
+				ops := []ir.Op{ir.FCmpEQ, ir.FCmpLT, ir.FCmpLE}
+				a, c := pick(fps), pick(fps)
+				b.Append(&ir.Instr{Op: ops[rng.Intn(len(ops))], Dst: newInt(),
+					Args: []ir.VReg{a, c}})
+			default:
+				a, c := pick(fps), pick(fps)
+				b.Append(&ir.Instr{Op: fpBinOps[rng.Intn(len(fpBinOps))], Dst: newFP(),
+					Args: []ir.VReg{a, c}})
+			}
+			return
+		}
+		if len(ints) == 0 {
+			emitLoad()
+			return
+		}
+		switch rng.Intn(6) {
+		case 0:
+			a := pick(ints)
+			b.Append(&ir.Instr{Op: ir.Neg, Dst: newInt(), Args: []ir.VReg{a}})
+		case 1:
+			a := pick(ints)
+			b.Append(&ir.Instr{Op: intImmOps[rng.Intn(len(intImmOps))], Dst: newInt(),
+				Args: []ir.VReg{a}, Imm: int64(rng.Intn(10) - 3)})
+		case 2:
+			a := pick(ints)
+			if cfg.IntOnly {
+				b.Append(&ir.Instr{Op: ir.Mov, Dst: newInt(), Args: []ir.VReg{a}})
+			} else {
+				b.Append(&ir.Instr{Op: ir.ItoF, Dst: newFP(), Args: []ir.VReg{a}})
+			}
+		default:
+			a, c := pick(ints), pick(ints)
+			b.Append(&ir.Instr{Op: intBinOps[rng.Intn(len(intBinOps))], Dst: newInt(),
+				Args: []ir.VReg{a, c}})
+		}
+	}
+
+	// Programs open with a value-producing instruction so pools are never
+	// empty when arithmetic wants operands.
+	emitLoad()
+	for len(b.Instrs) < n {
+		r := rng.Float64()
+		switch {
+		case r < sh.memRatio:
+			emitLoad()
+		case r < sh.memRatio+0.12:
+			emitConst()
+		case r < sh.memRatio+0.12+sh.storeRatio:
+			emitStore()
+		default:
+			emitArith()
+		}
+	}
+	// Make some results observable through memory; the rest stay as
+	// live-out registers, which the verifier checks through OutMap.
+	emitStore()
+	if !cfg.NoBranch && rng.Intn(8) == 0 {
+		in := &ir.Instr{Op: ir.Ret}
+		if rng.Intn(2) == 0 && len(ints) > 0 {
+			in.Args = []ir.VReg{pick(ints)}
+		}
+		b.Append(in)
+	}
+	mach := genMachine(rng)
+	trimLiveOuts(b, mach)
+	b.Renumber()
+
+	return &Case{
+		Name: f.Name,
+		Func: f,
+		Mach: mach,
+	}
+}
+
+// trimLiveOuts keeps the case compilable: every pipeline must hold all
+// live-out values of a class (plus a trailing ret's operand) in registers
+// simultaneously at the block end, so more dead definitions than registers
+// would force every method to refuse. Excess dead values are stored to the
+// output arrays instead, which also makes them observable to diffexec.
+func trimLiveOuts(b *ir.Block, m *MachineSpec) {
+	var limit [ir.NumClasses]int
+	limit[ir.ClassInt] = m.IntRegs
+	limit[ir.ClassFP] = m.FPRegs
+	var trailing *ir.Instr
+	if n := len(b.Instrs); n > 0 && b.Instrs[n-1].IsBranch() {
+		trailing = b.Instrs[n-1]
+		b.Instrs = b.Instrs[:n-1]
+		for _, u := range trailing.Uses() {
+			limit[b.Func.ClassOf(u)]--
+		}
+	}
+	used := map[ir.VReg]bool{}
+	for _, in := range b.Instrs {
+		for _, u := range in.Uses() {
+			used[u] = true
+		}
+	}
+	if trailing != nil {
+		for _, u := range trailing.Uses() {
+			used[u] = true
+		}
+	}
+	var dead [ir.NumClasses][]ir.VReg
+	for _, in := range b.Instrs {
+		if in.Dst != ir.NoReg && !used[in.Dst] {
+			cl := b.Func.ClassOf(in.Dst)
+			dead[cl] = append(dead[cl], in.Dst)
+		}
+	}
+	for cl := range dead {
+		for i := 0; len(dead[cl])-i > limit[cl]; i++ {
+			v := dead[cl][i]
+			if ir.Class(cl) == ir.ClassFP {
+				b.Append(&ir.Instr{Op: ir.StoreF, Args: []ir.VReg{v}, Sym: fpOut, Off: int64(8 + i%8)})
+			} else {
+				b.Append(&ir.Instr{Op: ir.Store, Args: []ir.VReg{v}, Sym: intOut, Off: int64(8 + i%8)})
+			}
+		}
+	}
+	if trailing != nil {
+		b.Append(trailing)
+	}
+}
+
+// genMachine draws a machine description: homogeneous VLIWs of width 1–4,
+// heterogeneous mixes, tight to roomy register files, unit or realistic
+// latencies, occasionally pipelined units.
+func genMachine(rng *rand.Rand) *MachineSpec {
+	s := &MachineSpec{
+		IntRegs:   2 + rng.Intn(7),
+		FPRegs:    2 + rng.Intn(7),
+		Realistic: rng.Intn(2) == 0,
+		Pipelined: rng.Intn(4) == 0,
+	}
+	if rng.Intn(3) == 0 {
+		s.Het = true
+		s.IALU = 1 + rng.Intn(2)
+		s.FALU = 1 + rng.Intn(2)
+		s.MEM = 1 + rng.Intn(2)
+		s.BR = 1
+	} else {
+		s.Width = 1 + rng.Intn(4)
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package check
+
+import (
+	"ursa/internal/ir"
+)
+
+// Shrink reduces a failing case to a (locally) minimal one: the smallest
+// program and machine this greedy pass can find on which fails still
+// returns true. fails must be deterministic; Shrink calls it repeatedly.
+//
+// The strategy is delta debugging adapted to SSA straight-line code:
+// removing an instruction also removes the forward closure of its users, so
+// every candidate stays a valid program. Chunks shrink from half the block
+// down to single instructions, then the machine is simplified (fewer units,
+// fewer registers, unit latencies, no pipelining), then the whole pass
+// repeats until a fixed point.
+func Shrink(c *Case, fails func(*Case) bool) *Case {
+	cur := c.Clone()
+	for changed := true; changed; {
+		changed = false
+		if next, ok := shrinkInstrs(cur, fails); ok {
+			cur, changed = next, true
+		}
+		if next, ok := shrinkMachine(cur, fails); ok {
+			cur, changed = next, true
+		}
+	}
+	return cur
+}
+
+// shrinkInstrs tries to drop instruction chunks (with their dependent
+// closure) while the failure persists.
+func shrinkInstrs(c *Case, fails func(*Case) bool) (*Case, bool) {
+	improved := false
+	cur := c
+	for size := len(cur.Block().Instrs) / 2; size >= 1; size /= 2 {
+		for start := 0; start < len(cur.Block().Instrs); {
+			next := dropClosure(cur, start, size)
+			if next != nil && len(next.Block().Instrs) < len(cur.Block().Instrs) && fails(next) {
+				cur = next
+				improved = true
+				// Stay at the same start: the block shifted left.
+				continue
+			}
+			start += size
+		}
+	}
+	return cur, improved
+}
+
+// dropClosure removes instructions [start, start+size) plus every later
+// instruction that (transitively) uses a removed definition. Returns nil
+// when nothing would remain.
+func dropClosure(c *Case, start, size int) *Case {
+	instrs := c.Block().Instrs
+	dead := map[ir.VReg]bool{}
+	var kept []*ir.Instr
+	for i, in := range instrs {
+		drop := i >= start && i < start+size
+		if !drop {
+			for _, u := range in.Uses() {
+				if dead[u] {
+					drop = true
+					break
+				}
+			}
+		}
+		if drop {
+			if in.Dst != ir.NoReg {
+				dead[in.Dst] = true
+			}
+			continue
+		}
+		kept = append(kept, in)
+	}
+	if len(kept) == 0 || len(kept) == len(instrs) {
+		return nil
+	}
+	nc := c.Clone()
+	b := nc.Block()
+	b.Instrs = b.Instrs[:0]
+	for _, in := range kept {
+		b.Append(in.Clone())
+	}
+	return nc
+}
+
+// shrinkMachine tries successively simpler machines: fewer registers,
+// fewer units, unit latency, no pipelining, homogeneous instead of
+// heterogeneous.
+func shrinkMachine(c *Case, fails func(*Case) bool) (*Case, bool) {
+	improved := false
+	cur := c
+	attempt := func(mutate func(*MachineSpec)) {
+		spec := *cur.Mach
+		mutate(&spec)
+		if spec == *cur.Mach {
+			return
+		}
+		next := cur.Clone()
+		next.Mach = &spec
+		if next.Mach.Config().Validate() != nil {
+			return
+		}
+		if fails(next) {
+			cur = next
+			improved = true
+		}
+	}
+	attempt(func(s *MachineSpec) { s.Pipelined = false })
+	attempt(func(s *MachineSpec) { s.Realistic = false })
+	attempt(func(s *MachineSpec) {
+		if s.Het {
+			*s = MachineSpec{Width: s.IALU, IntRegs: s.IntRegs, FPRegs: s.FPRegs,
+				Realistic: s.Realistic, Pipelined: s.Pipelined}
+		}
+	})
+	// Unit counts stay >= 1 so the shrunk machine can still schedule every
+	// kind; collapsing to an unschedulable config would trade the original
+	// violation for a trivial one.
+	for _, f := range []func(*MachineSpec){
+		func(s *MachineSpec) {
+			if !s.Het && s.Width > 1 {
+				s.Width--
+			}
+		},
+		func(s *MachineSpec) {
+			if s.Het && s.IALU > 1 {
+				s.IALU--
+			}
+		},
+		func(s *MachineSpec) {
+			if s.Het && s.FALU > 1 {
+				s.FALU--
+			}
+		},
+		func(s *MachineSpec) {
+			if s.Het && s.MEM > 1 {
+				s.MEM--
+			}
+		},
+		func(s *MachineSpec) {
+			if s.IntRegs > 1 {
+				s.IntRegs--
+			}
+		},
+		func(s *MachineSpec) {
+			if s.FPRegs > 1 {
+				s.FPRegs--
+			}
+		},
+	} {
+		for { // repeat each reduction while it still fails
+			before := *cur.Mach
+			attempt(f)
+			if *cur.Mach == before {
+				break
+			}
+		}
+	}
+	return cur, improved
+}
+
+// Normalize round-trips the case through its textual form, compacting the
+// register tables (dropped values disappear, names renumber from v1). The
+// result is only adopted by callers when the failure is preserved.
+func Normalize(c *Case) (*Case, error) {
+	return ParseCase(FormatCase(c))
+}

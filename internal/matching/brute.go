@@ -1,0 +1,30 @@
+package matching
+
+// BruteMax computes the maximum bipartite matching size by exhaustive
+// branch and bound over the left vertices. It is exponential and exists as
+// the independent oracle the fast algorithms are differentially tested
+// against; keep nl below ~20.
+func BruteMax(nl, nr int, adj [][]int) int {
+	usedR := make([]bool, nr)
+	best := 0
+	var walk func(l, size int)
+	walk = func(l, size int) {
+		if size > best {
+			best = size
+		}
+		// Bound: even matching every remaining left vertex cannot beat best.
+		if l >= nl || size+(nl-l) <= best {
+			return
+		}
+		for _, r := range adj[l] {
+			if !usedR[r] {
+				usedR[r] = true
+				walk(l+1, size+1)
+				usedR[r] = false
+			}
+		}
+		walk(l+1, size) // leave l unmatched
+	}
+	walk(0, 0)
+	return best
+}

@@ -7,12 +7,19 @@
 package regalloc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"ursa/internal/ir"
 	"ursa/internal/machine"
 )
+
+// ErrTooFewRegs reports structural infeasibility: some point of the block
+// needs more simultaneously register-resident values of one class than the
+// machine provides (for straight-line code, typically more live-out values
+// than registers), so no amount of spilling can make it colorable.
+var ErrTooFewRegs = errors.New("regalloc: too few registers")
 
 // Result reports one coloring run.
 type Result struct {
@@ -46,17 +53,34 @@ func Color(b *ir.Block, m *machine.Config, liveOut map[ir.VReg]bool) (*Result, e
 	}
 
 	spills := 0
+	// Spill temporaries and already-spilled values have minimal live ranges:
+	// re-spilling them cannot lower pressure (it only ping-pongs reloads), so
+	// they are excluded from victim selection, which also bounds the rounds.
+	avoid := map[ir.VReg]bool{}
+	// Round bound over the ORIGINAL size: work grows as spill code is
+	// inserted, so the bound must not chase it. Each round spills one
+	// not-yet-spilled value, so a colorable block converges well within 2n
+	// rounds; the bound only backstops a select-phase failure loop.
+	maxRounds := 2*len(work) + 8
 	for round := 0; ; round++ {
-		if round > len(work)+8 {
-			return nil, fmt.Errorf("regalloc: coloring did not converge")
+		if round > maxRounds {
+			return nil, fmt.Errorf("%w: coloring did not converge after %d spill rounds", ErrTooFewRegs, round)
 		}
-		colors, spillVictim := tryColor(f, work, m, outName)
-		if spillVictim == ir.NoReg {
+		colors, spillVictim := tryColor(f, work, m, outName, avoid)
+		if colors != nil {
 			return rewrite(f, work, m, colors, outName, spills)
+		}
+		if spillVictim == ir.NoReg {
+			// Blocked with only unspillable values left. Live intervals form
+			// a chordal graph, so simplify blocks only when some point keeps
+			// more minimal-range values live than the file holds — spilling
+			// cannot fix that.
+			return nil, fmt.Errorf("%w: a program point needs more live values than the register file holds", ErrTooFewRegs)
 		}
 		// Spill the victim everywhere: store after its defs, reload with a
 		// fresh name before each use.
-		work, outName = spillEverywhere(f, work, spillVictim, outName)
+		work, outName = spillEverywhere(f, work, spillVictim, outName, avoid)
+		avoid[spillVictim] = true
 		spills++
 	}
 }
@@ -117,11 +141,12 @@ func liveIntervals(instrs []*ir.Instr, heldOut map[ir.VReg]bool) []interval {
 }
 
 // tryColor builds the interference graph and runs simplify/select. On
-// success the returned victim is NoReg and colors maps every register to a
-// color index within its class. Otherwise the chosen spill victim is
-// returned (longest interval among maximum-degree nodes, excluding
-// live-outs when possible).
-func tryColor(f *ir.Func, instrs []*ir.Instr, m *machine.Config, outName map[ir.VReg]ir.VReg) (map[ir.VReg]int, ir.VReg) {
+// success colors is non-nil and maps every register to a color index within
+// its class. On failure colors is nil and the chosen spill victim is
+// returned: the longest interval among the highest-degree nodes, never one
+// from avoid (re-spilling those cannot help). A nil colors with a NoReg
+// victim means no spill can make the block colorable.
+func tryColor(f *ir.Func, instrs []*ir.Instr, m *machine.Config, outName map[ir.VReg]ir.VReg, avoid map[ir.VReg]bool) (map[ir.VReg]int, ir.VReg) {
 	heldOut := map[ir.VReg]bool{}
 	for _, cur := range outName {
 		heldOut[cur] = true
@@ -187,29 +212,25 @@ func tryColor(f *ir.Func, instrs []*ir.Instr, m *machine.Config, outName map[ir.
 			}
 		}
 		if !progress {
-			// Blocked: pick the spill victim — the longest live range
-			// among the highest-degree remaining nodes, avoiding values
-			// that must end the block in a register.
+			// Blocked: choose the spill victim by score. Ranges spanning
+			// more than one instruction — the ones spilling actually
+			// shortens — come first. Live-out holders are legitimate
+			// victims: spillEverywhere reloads them at the block end,
+			// collapsing a block-long range to one instruction.
 			var victim ir.VReg
 			best := -1
 			for _, v := range regs {
-				if removed[v] || heldOut[v] {
+				if removed[v] || avoid[v] {
 					continue
 				}
 				iv := byReg[v]
-				score := degree(v)*1000 + (iv.end - iv.start)
+				length := iv.end - iv.start
+				score := degree(v)*1000 + length
+				if length > 1 {
+					score += 1 << 24
+				}
 				if score > best {
 					best, victim = score, v
-				}
-			}
-			if victim == ir.NoReg {
-				// Everything left is live-out; spill one anyway (it will
-				// be reloaded at the end by the caller's conventions).
-				for _, v := range regs {
-					if !removed[v] {
-						victim = v
-						break
-					}
 				}
 			}
 			return nil, victim
@@ -240,8 +261,10 @@ func tryColor(f *ir.Func, instrs []*ir.Instr, m *machine.Config, outName map[ir.
 }
 
 // spillEverywhere rewrites the sequence spilling v: a store follows each
-// definition, and every use reads a freshly reloaded copy.
-func spillEverywhere(f *ir.Func, instrs []*ir.Instr, v ir.VReg, outName map[ir.VReg]ir.VReg) ([]*ir.Instr, map[ir.VReg]ir.VReg) {
+// definition, and every use reads a freshly reloaded copy. The fresh reload
+// names are recorded in temps — their ranges are minimal by construction,
+// so they must never be chosen as spill victims themselves.
+func spillEverywhere(f *ir.Func, instrs []*ir.Instr, v ir.VReg, outName map[ir.VReg]ir.VReg, temps map[ir.VReg]bool) ([]*ir.Instr, map[ir.VReg]ir.VReg) {
 	slot := "spillc." + f.NameOf(v)
 	var out []*ir.Instr
 	reloads := 0
@@ -254,6 +277,7 @@ func spillEverywhere(f *ir.Func, instrs []*ir.Instr, v ir.VReg, outName map[ir.V
 		}
 		if needs {
 			nv := f.NewReg(f.NameOf(v)+".c", f.ClassOf(v))
+			temps[nv] = true
 			out = append(out, &ir.Instr{Op: ir.SpillLoad, Dst: nv, Sym: slot})
 			reloads++
 			c := in.Clone()
@@ -274,13 +298,23 @@ func spillEverywhere(f *ir.Func, instrs []*ir.Instr, v ir.VReg, outName map[ir.V
 		}
 	}
 	// If v held a live-out value, reload it at the very end under a fresh
-	// name so it finishes in a register.
+	// name so it finishes in a register. The reload must still precede a
+	// terminating branch, which stays last.
+	var trailing *ir.Instr
+	if len(out) > 0 && out[len(out)-1].IsBranch() {
+		trailing = out[len(out)-1]
+		out = out[:len(out)-1]
+	}
 	for orig, cur := range outName {
 		if cur == v {
 			nv := f.NewReg(f.NameOf(v)+".c", f.ClassOf(v))
+			temps[nv] = true
 			out = append(out, &ir.Instr{Op: ir.SpillLoad, Dst: nv, Sym: slot})
 			outName[orig] = nv
 		}
+	}
+	if trailing != nil {
+		out = append(out, trailing)
 	}
 	return out, outName
 }

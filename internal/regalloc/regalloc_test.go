@@ -1,6 +1,7 @@
 package regalloc
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -109,6 +110,100 @@ entry:
 	st := runColored(t, res, ir.NewState())
 	if got := st.Regs[phys].Int(); got != 21 {
 		t.Errorf("b (in %s) = %d, want 21", res.Block.Func.NameOf(phys), got)
+	}
+}
+
+func TestColorLiveOutPressureConverges(t *testing.T) {
+	// Fuzzer regression (testdata/fuzz): with K=2 and two live-out values
+	// pinned across a two-operand instruction, the old victim selection
+	// refused to spill live-out holders and looped forever re-spilling
+	// just-in-time reloads. Spilling a live-out (reloading it at the block
+	// end) makes this colorable.
+	f := ir.MustParse(`
+entry:
+	lo1 = const 3
+	lo2 = const 4
+	a = load A[0]
+	b = load A[1]
+	c = add a, b
+	store OUT[0], c
+`)
+	lo := map[ir.VReg]bool{f.Reg("lo1"): true, f.Reg("lo2"): true}
+	res, err := Color(f.Blocks[0], machine.VLIW(2, 2), lo)
+	if err != nil {
+		t.Fatalf("Color: %v", err)
+	}
+	if res.RegsUsed[ir.ClassInt] > 2 {
+		t.Fatalf("used %d registers, machine has 2", res.RegsUsed[ir.ClassInt])
+	}
+	st := runColored(t, res, func() *ir.State {
+		init := ir.NewState()
+		init.StoreInt("A", 0, 10)
+		init.StoreInt("A", 1, 11)
+		return init
+	}())
+	if got := st.Mem[ir.Addr{Sym: "OUT", Off: 0}].Int(); got != 21 {
+		t.Errorf("OUT[0] = %d, want 21", got)
+	}
+	for _, name := range []string{"lo1", "lo2"} {
+		phys, ok := res.OutMap[f.Reg(name)]
+		if !ok {
+			t.Fatalf("no OutMap entry for %s", name)
+		}
+		want := int64(3)
+		if name == "lo2" {
+			want = 4
+		}
+		if got := st.Regs[phys].Int(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestColorTooFewRegsErrorsCleanly(t *testing.T) {
+	// Fuzzer regression: three int live-outs on a two-register machine is
+	// structurally uncolorable. The old round bound chased the growing spill
+	// code and never fired, so Color spun forever; it must now return
+	// ErrTooFewRegs promptly.
+	f := ir.MustParse(`
+entry:
+	a = const 1
+	b = const 2
+	c = const 3
+`)
+	lo := map[ir.VReg]bool{f.Reg("a"): true, f.Reg("b"): true, f.Reg("c"): true}
+	_, err := Color(f.Blocks[0], machine.VLIW(2, 2), lo)
+	if !errors.Is(err, ErrTooFewRegs) {
+		t.Fatalf("Color err = %v, want ErrTooFewRegs", err)
+	}
+}
+
+func TestColorKeepsBranchLast(t *testing.T) {
+	// Fuzzer regression (testdata/fuzz/shrunk-legality-s143.ursafuzz):
+	// spilling a live-out value used to append its end-of-block reload after
+	// a trailing ret, producing a block no scheduler accepts (the
+	// post-branch reload and the branch form a dependence cycle).
+	f := ir.MustParse(`
+entry:
+	a = load A[4]
+	b = load A[6]
+	c = load A[3]
+	store O[12], b
+	ret c
+`)
+	lo := map[ir.VReg]bool{f.Reg("a"): true}
+	res, err := Color(f.Blocks[0], machine.VLIW(1, 2), lo)
+	if err != nil {
+		t.Fatalf("Color: %v", err)
+	}
+	instrs := res.Block.Instrs
+	if n := len(instrs); !instrs[n-1].IsBranch() {
+		t.Fatalf("last instruction is %s, want the ret last", res.Block.Func.InstrString(instrs[n-1]))
+	}
+	for _, in := range instrs[:len(instrs)-1] {
+		if in.IsBranch() {
+			t.Fatal("branch appears before the end of the block")
+		}
 	}
 }
 
