@@ -12,12 +12,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"ursa"
+	"ursa/internal/server"
 )
 
 func main() {
@@ -33,8 +38,22 @@ func main() {
 		realistic    = flag.Bool("latency", false, "use realistic multi-cycle latencies")
 		optimize     = flag.Bool("O", false, "run scalar optimizations (fold/copy/CSE/DCE) before compiling")
 		jobs         = flag.Int("j", 0, "compile blocks with N parallel workers (0: all cores, 1: sequential)")
+		listen       = flag.String("listen", "", "serve the compile API on this address instead of compiling (same mux as ursad)")
 	)
 	flag.Parse()
+
+	if *listen != "" {
+		// Share ursad's entry path: the same server mux, started from the
+		// compiler binary, so the serving layer is testable wherever ursac
+		// is already deployed.
+		srv := server.New(server.Config{Logf: log.Printf})
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := srv.ListenAndServe(ctx, *listen); err != nil {
+			fatalf("serve: %v", err)
+		}
+		return
+	}
 
 	method, ok := parseMethod(*pipelineName)
 	if !ok {

@@ -1,0 +1,69 @@
+// Command ursad is the URSA compile server: a long-lived HTTP/JSON daemon
+// exposing the full compilation pipeline with batching, bounded-queue
+// backpressure, a process-wide measurement cache, and Prometheus metrics.
+//
+// Usage:
+//
+//	ursad [-addr :8347] [-concurrency N] [-queue N] [-timeout 60s]
+//	      [-max-body 4194304] [-drain 30s] [-quiet]
+//
+// Endpoints:
+//
+//	POST /v1/compile   compile (and optionally run) one function
+//	POST /v1/batch     fan a set of jobs over the parallel driver
+//	GET  /v1/machines  list the machine presets
+//	GET  /healthz      liveness and drain state
+//	GET  /metrics      Prometheus metrics
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, finishes in-flight requests (bounded by -drain), and exits
+// 0. See docs/SERVER.md for the wire schema and tuning guidance.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ursa/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8347", "listen address")
+		concurrency = flag.Int("concurrency", 0, "max concurrent compiles (0: GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "admission queue depth beyond -concurrency (0: 64); overflow sheds 429")
+		timeout     = flag.Duration("timeout", 0, "per-request compile deadline (0: 60s)")
+		maxBody     = flag.Int64("max-body", 0, "request body size cap in bytes (0: 4MiB)")
+		drain       = flag.Duration("drain", 0, "graceful shutdown budget (0: 30s)")
+		quiet       = flag.Bool("quiet", false, "suppress operational log lines")
+	)
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := server.New(server.Config{
+		MaxConcurrent:  *concurrency,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		DrainTimeout:   *drain,
+		Logf:           logf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "ursad: %v\n", err)
+		os.Exit(1)
+	}
+	logf("ursad: clean exit after %s", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,109 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapCancelMidBatch: cancelling the context mid-batch stops dispatch —
+// jobs already past the gate finish, undispatched jobs record ctx.Err(),
+// and the batch error is ctx.Err().
+func TestMapCancelMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	results, errs, err := Map(10, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			cancel()
+		}
+		return i * i, nil
+	}, Options{Workers: 1, Ctx: ctx})
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Errorf("ran %d jobs, want 4 (0..3 then stop)", got)
+	}
+	for i := 0; i < 4; i++ {
+		if errs[i] != nil {
+			t.Errorf("job %d err = %v, want nil", i, errs[i])
+		}
+		if results[i] != i*i {
+			t.Errorf("job %d result = %d, want %d", i, results[i], i*i)
+		}
+	}
+	for i := 4; i < 10; i++ {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Errorf("job %d err = %v, want context.Canceled", i, errs[i])
+		}
+	}
+}
+
+// TestMapCancelOverridesKeepGoing: cancellation stops even a KeepGoing
+// batch.
+func TestMapCancelOverridesKeepGoing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	_, errs, err := Map(5, func(i int) (struct{}, error) {
+		ran.Add(1)
+		return struct{}{}, nil
+	}, Options{Workers: 1, KeepGoing: true, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("ran %d jobs on a pre-cancelled context, want 0", ran.Load())
+	}
+	for i, e := range errs {
+		if !errors.Is(e, context.Canceled) {
+			t.Errorf("job %d err = %v, want context.Canceled", i, e)
+		}
+	}
+}
+
+// TestMapCancelParallelWorkers: under parallel workers a cancelled batch
+// still completes (no hang) and reports ctx.Err() for undispatched jobs.
+func TestMapCancelParallelWorkers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	_, errs, err := Map(64, func(i int) (struct{}, error) {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+		return struct{}{}, nil
+	}, Options{Workers: 4, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want context.Canceled", err)
+	}
+	// Some prefix ran, some suffix was cancelled; both sets are nonempty.
+	var cancelled int
+	for _, e := range errs {
+		if errors.Is(e, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 || cancelled == 64 {
+		t.Errorf("cancelled %d of 64 jobs, want a proper subset", cancelled)
+	}
+	if int(ran.Load())+cancelled != 64 {
+		t.Errorf("ran %d + cancelled %d != 64", ran.Load(), cancelled)
+	}
+}
+
+// TestForEachCtxNilUnchanged: a nil Ctx keeps the original semantics.
+func TestForEachCtxNilUnchanged(t *testing.T) {
+	var ran atomic.Int32
+	if err := ForEach(8, func(i int) error {
+		ran.Add(1)
+		return nil
+	}, Options{Workers: 2}); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	if ran.Load() != 8 {
+		t.Errorf("ran %d, want 8", ran.Load())
+	}
+}

@@ -21,6 +21,7 @@
 package driver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -39,6 +40,13 @@ type Options struct {
 	// skips jobs that have not started once any job returns an error or
 	// panics; skipped jobs report ErrSkipped.
 	KeepGoing bool
+	// Ctx, when non-nil, cancels the batch: once Ctx is done no further
+	// jobs are dispatched (running jobs finish and their results are
+	// kept), every undispatched job records Ctx.Err(), and the batch
+	// error is Ctx.Err(). Cancellation overrides KeepGoing — a cancelled
+	// batch stops even when it would otherwise run every job. Nil means
+	// the batch cannot be cancelled.
+	Ctx context.Context
 }
 
 // ErrSkipped marks a job that never ran because an earlier job failed and
@@ -80,6 +88,16 @@ func Map[T any](n int, fn func(i int) (T, error), opts Options) ([]T, []error, e
 		workers = n
 	}
 
+	// cancelled reports the context error once the batch's context is done.
+	// Checked before each dispatch, so cancellation stops queued jobs
+	// without interrupting running ones (jobs are not preemptible).
+	cancelled := func() error {
+		if opts.Ctx == nil {
+			return nil
+		}
+		return opts.Ctx.Err()
+	}
+
 	run := func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -94,6 +112,10 @@ func Map[T any](n int, fn func(i int) (T, error), opts Options) ([]T, []error, e
 	var failed atomic.Bool
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := cancelled(); err != nil {
+				errs[i] = err
+				continue
+			}
 			if failed.Load() && !opts.KeepGoing {
 				errs[i] = ErrSkipped
 				continue
@@ -114,6 +136,10 @@ func Map[T any](n int, fn func(i int) (T, error), opts Options) ([]T, []error, e
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
+					}
+					if err := cancelled(); err != nil {
+						errs[i] = err
+						continue
 					}
 					if failed.Load() && !opts.KeepGoing {
 						errs[i] = ErrSkipped

@@ -30,6 +30,7 @@ import (
 type Cache struct {
 	mu      sync.Mutex
 	entries map[cacheKey]*Result
+	bytes   int64 // approximate retained bytes across entries
 	hits    uint64
 	misses  uint64
 }
@@ -72,10 +73,32 @@ func (c *Cache) Measure(g *dag.Graph, resource string, build func(*dag.Graph) *r
 	c.mu.Lock()
 	if len(c.entries) >= maxEntries {
 		c.entries = make(map[cacheKey]*Result)
+		c.bytes = 0
+	}
+	if _, dup := c.entries[key]; !dup {
+		c.bytes += approxResultBytes(res)
 	}
 	c.entries[key] = res
 	c.mu.Unlock()
 	return res
+}
+
+// approxResultBytes estimates the memory a cached Result retains: the two
+// n×n bit relations dominate, plus the items, kill map, and decomposition
+// (all O(n) slices of machine words), plus fixed struct overhead.
+func approxResultBytes(res *Result) int64 {
+	if res == nil || res.R == nil {
+		return 64
+	}
+	n := int64(len(res.R.Items))
+	relBits := n * ((n + 63) / 64) * 8 // one bitset row per item
+	return 2*relBits +                 // Rel + Reduced
+		n*16 + // Items (node + reg)
+		n*8 + // Kill
+		n*8 + // ChainOf
+		n*8 + // chain elements across the decomposition
+		int64(len(res.Chains))*24 + // chain slice headers
+		256 // struct and map-entry overhead
 }
 
 // Stats reports the hit and miss counts so far.
@@ -90,10 +113,20 @@ func (c *Cache) Stats() (hits, misses uint64) {
 
 // Len returns the number of cached measurements.
 func (c *Cache) Len() int {
+	n, _ := c.Entries()
+	return n
+}
+
+// Entries reports the cache's current size: the number of cached
+// measurements and the approximate bytes they retain. The byte figure is
+// an estimate (dominated by the n×n reuse relations) intended for
+// monitoring, not precise accounting; it resets to zero whenever the
+// count-bounded cache drops its map.
+func (c *Cache) Entries() (entries int, bytes int64) {
 	if c == nil {
-		return 0
+		return 0, 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return len(c.entries), c.bytes
 }

@@ -47,7 +47,7 @@ func CompileFunc(f *ir.Func, m *machine.Config, method Method, opts Options) (*F
 			return compiled{}, fmt.Errorf("pipeline: block %s: %w", f.Blocks[i].Label, err)
 		}
 		return compiled{prog, st}, nil
-	}, driver.Options{Workers: blockWorkers(opts.Workers)})
+	}, driver.Options{Workers: blockWorkers(opts.Workers), Ctx: opts.Ctx})
 	if err != nil {
 		return nil, nil, err
 	}

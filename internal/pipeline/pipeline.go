@@ -16,6 +16,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"ursa/internal/assign"
@@ -71,6 +72,11 @@ type Options struct {
 	// GOMAXPROCS. Results are collected by block index, so the emitted
 	// program and statistics are identical at every worker count.
 	Workers int
+	// Ctx, when non-nil, cancels multi-block compilation between blocks:
+	// once done, CompileFunc stops dispatching the remaining blocks and
+	// returns Ctx.Err(). Cancellation is cooperative — a block already
+	// compiling runs to completion.
+	Ctx context.Context
 }
 
 // Stats reports one compilation (and, after Evaluate, its execution).

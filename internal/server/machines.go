@@ -1,0 +1,63 @@
+package server
+
+import (
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+)
+
+// A Preset is a named machine configuration clients can select without
+// spelling out widths and register files. The set spans the paper's
+// evaluation range (§5): the Figure 2 machine, the homogeneous sweep
+// points, and the two heterogeneous configurations.
+type Preset struct {
+	Name        string
+	Description string
+	Config      *machine.Config
+}
+
+// presets lists the served machine configurations in presentation order.
+var presets = []Preset{
+	{"paper2x3", "the paper's Figure 2 machine: 2 FUs, 3 registers", machine.VLIW(2, 3)},
+	{"vliw1x4", "scalar baseline: 1 FU, 4 registers", machine.VLIW(1, 4)},
+	{"vliw2x4", "2 FUs, 4 registers", machine.VLIW(2, 4)},
+	{"vliw2x8", "2 FUs, 8 registers", machine.VLIW(2, 8)},
+	{"vliw4x6", "4 FUs, 6 registers", machine.VLIW(4, 6)},
+	{"vliw4x8", "default: 4 FUs, 8 registers", machine.VLIW(4, 8)},
+	{"vliw8x12", "wide: 8 FUs, 12 registers", machine.VLIW(8, 12)},
+	{"hetero-small", "2 IALU + 1 FALU + 1 MEM + 1 BR, 6 int / 4 fp registers",
+		machine.Heterogeneous(2, 1, 1, 1, 6, 4)},
+	{"hetero-big", "2 IALU + 2 FALU + 2 MEM + 1 BR, 8 int / 8 fp registers",
+		machine.Heterogeneous(2, 2, 2, 1, 8, 8)},
+}
+
+// presetByName returns the named preset, or nil.
+func presetByName(name string) *Preset {
+	for i := range presets {
+		if presets[i].Name == name {
+			return &presets[i]
+		}
+	}
+	return nil
+}
+
+// machineJSON renders a preset for the /v1/machines listing.
+func machineJSON(p *Preset) MachineJSON {
+	m := p.Config
+	units := 0
+	if m.Homogeneous {
+		units = m.Units[machine.ANY]
+	} else {
+		for _, cl := range m.FUClasses() {
+			units += m.Units[cl]
+		}
+	}
+	return MachineJSON{
+		Name:        p.Name,
+		Description: p.Description,
+		Homogeneous: m.Homogeneous,
+		Units:       units,
+		IntRegs:     m.Regs[ir.ClassInt],
+		FPRegs:      m.Regs[ir.ClassFP],
+		Summary:     m.String(),
+	}
+}

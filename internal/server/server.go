@@ -1,0 +1,698 @@
+// Package server is ursad's serving layer: an HTTP/JSON front end over
+// the compilation pipeline that turns the one-shot CLIs into a long-lived
+// compile-as-a-service daemon.
+//
+// The server exists to amortize the allocator's combinatorial cost across
+// requests: a process-wide measure.Cache is shared by every compile, so
+// repeated workloads (the common case for a service fronting a test farm
+// or a JIT tier) skip the O(N³) matching entirely. Around that sits the
+// operational shell a service needs:
+//
+//   - Bounded admission: at most MaxConcurrent requests compile at once;
+//     up to QueueDepth more wait; beyond that the server sheds load with
+//     429 + Retry-After instead of growing latency or memory without
+//     bound.
+//   - Per-request limits: a body-size cap and a compile deadline, plumbed
+//     as a context through the parallel driver so cancelled work stops
+//     dispatching instead of burning workers.
+//   - Failure isolation: a panic anywhere in a request is converted to a
+//     driver.PanicError and a 500, never a process crash.
+//   - Observability: every interesting internal — request latency, queue
+//     depth, sheds, compile outcomes by pipeline method, cache hit rates
+//     and size — is a Prometheus series on GET /metrics.
+//
+// Endpoints: POST /v1/compile, POST /v1/batch, GET /v1/machines,
+// GET /healthz, GET /metrics. See docs/SERVER.md for the wire schema.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ursa/internal/driver"
+	"ursa/internal/ir"
+	"ursa/internal/measure"
+	"ursa/internal/metrics"
+	"ursa/internal/pipeline"
+	"ursa/internal/workload"
+)
+
+// Config tunes the server. The zero value serves with sensible defaults.
+type Config struct {
+	// MaxConcurrent bounds simultaneously compiling requests. Zero means
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for a compile slot beyond
+	// MaxConcurrent; a request arriving past the bound is shed with 429.
+	// Zero means 64.
+	QueueDepth int
+	// RequestTimeout bounds one request's compile time (queue wait
+	// included). Zero means 60s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps a request body. Zero means 4 MiB.
+	MaxBodyBytes int64
+	// DrainTimeout bounds the graceful shutdown: how long Serve waits for
+	// in-flight requests after its context is cancelled. Zero means 30s.
+	DrainTimeout time.Duration
+	// Cache is the measurement cache shared by every request. Nil means a
+	// fresh process-wide cache.
+	Cache *measure.Cache
+	// Registry receives the server's metrics. Nil means a fresh registry
+	// (exposed on GET /metrics either way).
+	Registry *metrics.Registry
+	// Logf, when non-nil, receives one line per shed, panic, and
+	// lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP serving layer. Create with New; it is safe for
+// concurrent use by any number of connections.
+type Server struct {
+	cfg   Config
+	cache *measure.Cache
+	reg   *metrics.Registry
+	mux   *http.ServeMux
+
+	slots    chan struct{} // admission semaphore: one token per running compile
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	mRequests   *metrics.CounterVec
+	mResponses  *metrics.CounterVec
+	mLatency    *metrics.Histogram
+	mShed       *metrics.Counter
+	mPanics     *metrics.Counter
+	mQueue      *metrics.Gauge
+	mInflight   *metrics.Gauge
+	mCompileOK  *metrics.CounterVec
+	mCompileErr *metrics.CounterVec
+
+	// testHook, when non-nil, runs inside every compile request while it
+	// holds an admission slot — the package tests' lever for saturating
+	// the queue and exercising graceful drain deterministically.
+	testHook func()
+}
+
+// New returns a server with its routes and metrics registered.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 4 << 20
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = measure.NewCache()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cfg.Cache,
+		reg:   cfg.Registry,
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+	}
+
+	r := s.reg
+	s.mRequests = r.CounterVec("ursad_requests_total", "requests received by endpoint", "endpoint")
+	s.mResponses = r.CounterVec("ursad_responses_total", "responses sent by status code", "code")
+	s.mLatency = r.Histogram("ursad_request_seconds", "request latency in seconds", nil)
+	s.mShed = r.Counter("ursad_shed_total", "requests shed with 429 because the admission queue was full")
+	s.mPanics = r.Counter("ursad_panics_total", "request panics recovered to 500")
+	s.mQueue = r.Gauge("ursad_queue_depth", "requests waiting for a compile slot")
+	s.mInflight = r.Gauge("ursad_inflight", "requests currently being served")
+	s.mCompileOK = r.CounterVec("ursad_compile_total", "successful compiles by pipeline method", "method")
+	s.mCompileErr = r.CounterVec("ursad_compile_errors_total", "failed compiles by pipeline method", "method")
+	r.Func("ursad_cache_hits_total", "measurement cache hits", "counter", func() float64 {
+		h, _ := s.cache.Stats()
+		return float64(h)
+	})
+	r.Func("ursad_cache_misses_total", "measurement cache misses", "counter", func() float64 {
+		_, m := s.cache.Stats()
+		return float64(m)
+	})
+	r.Func("ursad_cache_entries", "measurement cache entries", "gauge", func() float64 {
+		n, _ := s.cache.Entries()
+		return float64(n)
+	})
+	r.Func("ursad_cache_bytes", "approximate bytes retained by the measurement cache", "gauge", func() float64 {
+		_, b := s.cache.Entries()
+		return float64(b)
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", s.instrument("compile", s.handleCompile))
+	mux.HandleFunc("/v1/batch", s.instrument("batch", s.handleBatch))
+	mux.HandleFunc("/v1/machines", s.instrument("machines", s.handleMachines))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.reg.Handler())
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's routed handler — mountable into any
+// http.Server or mux (ursad and `ursac -listen` both mount it).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Cache returns the shared measurement cache.
+func (s *Server) Cache() *measure.Cache { return s.cache }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ------------------------------------------------------------- lifecycle
+
+// Serve serves on the listener until ctx is cancelled, then drains: it
+// stops accepting connections, waits up to DrainTimeout for in-flight
+// requests, and returns nil on a clean drain. During the drain /healthz
+// reports 503 so load balancers stop routing here.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	s.logf("ursad: draining (%d in flight, %d queued)", s.inflight.Load(), s.queued.Load())
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	s.logf("ursad: drained")
+	return nil
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.logf("ursad: listening on %s", ln.Addr())
+	return s.Serve(ctx, ln)
+}
+
+// ------------------------------------------------------------- admission
+
+// errShed reports a request rejected by the full admission queue.
+var errShed = errors.New("server: admission queue full")
+
+// admit acquires a compile slot, waiting in the bounded queue. It returns
+// a release function on success; errShed when the queue is full (the
+// caller sheds with 429); or the context error when the deadline expires
+// while queued.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	release = func() { <-s.slots }
+	select {
+	case s.slots <- struct{}{}:
+		return release, nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		return nil, errShed
+	}
+	s.mQueue.Inc()
+	defer func() {
+		s.queued.Add(-1)
+		s.mQueue.Dec()
+	}()
+	select {
+	case s.slots <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// retryAfterSeconds estimates when capacity frees up: one queue drain's
+// worth of requests ahead of us, at least a second.
+func (s *Server) retryAfterSeconds() int {
+	n := int(s.queued.Load())
+	sec := (n + s.cfg.MaxConcurrent) / s.cfg.MaxConcurrent
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// ------------------------------------------------------------ middleware
+
+// instrument wraps a handler with panic recovery, request counting, and
+// latency observation. Panics become driver.PanicError + 500: the same
+// containment the worker pool gives per-job, applied per-request.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.mRequests.With(endpoint).Inc()
+		s.mInflight.Inc()
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			s.mInflight.Dec()
+			s.mLatency.Observe(time.Since(start).Seconds())
+			if rv := recover(); rv != nil {
+				stack := make([]byte, 64<<10)
+				stack = stack[:runtime.Stack(stack, false)]
+				perr := &driver.PanicError{Value: rv, Stack: stack}
+				s.mPanics.Inc()
+				s.logf("ursad: %s: %v\n%s", endpoint, perr, perr.Stack)
+				s.writeError(w, http.StatusInternalServerError, perr.Error())
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// writeJSON writes a 200 response body.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+	s.mResponses.With(fmt.Sprint(code)).Inc()
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+// apiError carries an HTTP status with a message through the compile path.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errorStatus maps a compile-path error to its HTTP status: 400 for
+// malformed requests, 504 for deadline expiry, 422 for programs the
+// pipeline rejects (legitimate compile failures), 500 for panics.
+func errorStatus(err error) int {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.code
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		var pe *driver.PanicError
+		if errors.As(err, &pe) {
+			return http.StatusInternalServerError
+		}
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// -------------------------------------------------------------- handlers
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := HealthJSON{
+		Status:   "ok",
+		Draining: s.draining.Load(),
+		InFlight: s.inflight.Load(),
+		Queued:   s.queued.Load(),
+	}
+	code := http.StatusOK
+	if h.Draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, h)
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	out := make([]MachineJSON, len(presets))
+	for i := range presets {
+		out[i] = machineJSON(&presets[i])
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// decode reads a bounded JSON body into v.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &apiError{code: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes)}
+		}
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req CompileRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	release, err := s.admit(ctx)
+	if errors.Is(err, errShed) {
+		s.shed(w)
+		return
+	}
+	if err != nil {
+		s.writeError(w, http.StatusGatewayTimeout, "timed out waiting for a compile slot")
+		return
+	}
+	defer release()
+	if s.testHook != nil {
+		s.testHook()
+	}
+
+	resp, err := s.compileOne(ctx, &req)
+	if err != nil {
+		s.writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) shed(w http.ResponseWriter) {
+	s.mShed.Inc()
+	sec := s.retryAfterSeconds()
+	w.Header().Set("Retry-After", fmt.Sprint(sec))
+	s.logf("ursad: shedding load (queue full, retry after %ds)", sec)
+	s.writeError(w, http.StatusTooManyRequests,
+		fmt.Sprintf("admission queue full (%d compiling, %d queued); retry after %ds",
+			s.cfg.MaxConcurrent, s.queued.Load(), sec))
+}
+
+// compileOne runs one request through the pipeline: parse, compile,
+// optionally execute and verify, and assemble the response.
+func (s *Server) compileOne(ctx context.Context, cr *CompileRequest) (*CompileResponse, error) {
+	start := time.Now()
+	hits0, misses0 := s.cache.Stats()
+
+	f, isPaper, err := cr.load()
+	if err != nil {
+		return nil, badRequest("parse: %v", err)
+	}
+	method, err := cr.method()
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	m, err := cr.Machine.resolve()
+	if err != nil {
+		return nil, badRequest("machine: %v", err)
+	}
+
+	opts := pipeline.Options{Optimize: cr.Optimize, Workers: cr.Workers, Ctx: ctx}
+	opts.Core.Cache = s.cache
+	fp, st, err := pipeline.CompileFunc(f, m, method, opts)
+	if err != nil {
+		s.mCompileErr.With(method.String()).Inc()
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+
+	resp := &CompileResponse{
+		Name:    cr.Name,
+		Method:  method.String(),
+		Machine: m.Name,
+		Blocks:  listings(f, fp),
+	}
+
+	if cr.Run {
+		run, verified, err := s.execute(cr, f, fp, isPaper)
+		if err != nil {
+			s.mCompileErr.With(method.String()).Inc()
+			return nil, err
+		}
+		st.Verified = verified
+		st.Cycles = run.Cycles
+		st.Issued = run.Issued
+		if run.Cycles > 0 {
+			st.Utilization = float64(run.Issued) / float64(run.Cycles)
+		}
+		resp.Run = run
+	}
+	resp.Stats = statsJSON(st)
+
+	hits1, misses1 := s.cache.Stats()
+	resp.Cache = CacheDelta{Hits: hits1 - hits0, Misses: misses1 - misses0}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.mCompileOK.With(method.String()).Inc()
+	return resp, nil
+}
+
+// listings renders every compiled block byte-identically to an in-process
+// assign.Program.String().
+func listings(f *ir.Func, fp *pipeline.FuncProgram) []BlockListing {
+	out := make([]BlockListing, len(fp.Blocks))
+	for i, prog := range fp.Blocks {
+		out[i] = BlockListing{Label: f.Blocks[i].Label, Listing: prog.String()}
+	}
+	return out
+}
+
+// execute runs the compiled function on the simulator and verifies its
+// memory effects against the sequential interpreter.
+func (s *Server) execute(cr *CompileRequest, f *ir.Func, fp *pipeline.FuncProgram, isPaper bool) (*RunJSON, bool, error) {
+	init := cr.Init.state()
+	if cr.Init == nil && isPaper {
+		init = workload.PaperInit()
+	}
+	maxCycles := cr.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 10_000_000
+	}
+
+	ref := init.Clone()
+	if _, err := ref.Run(f, maxCycles*8+100_000); err != nil {
+		return nil, false, fmt.Errorf("reference interpretation: %w", err)
+	}
+
+	var res *pipeline.FuncResult
+	var err error
+	if cr.InOrder {
+		res, err = fp.RunInOrder(init, maxCycles)
+	} else {
+		res, err = fp.Run(init, maxCycles)
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("run: %w", err)
+	}
+	if err := verifyMem(ref, res.State); err != nil {
+		return nil, false, fmt.Errorf("verification: %w", err)
+	}
+	return &RunJSON{
+		Cycles:   res.Cycles,
+		Issued:   res.Issued,
+		SpillOps: res.SpillOps,
+		Blocks:   res.BlockXct,
+		Mem:      memCells(res.State),
+	}, true, nil
+}
+
+// verifyMem compares the non-spill memory of the compiled execution
+// against the interpreter's (the pipeline packages' verification rule).
+func verifyMem(ref, got *ir.State) error {
+	isSpill := func(sym string) bool { return len(sym) >= 5 && sym[:5] == "spill" }
+	for addr, want := range ref.Mem {
+		if isSpill(addr.Sym) {
+			continue
+		}
+		if g := got.Mem[addr]; g != want {
+			return fmt.Errorf("mem %s[%d] = %d, want %d", addr.Sym, addr.Off, g.Int(), want.Int())
+		}
+	}
+	for addr, g := range got.Mem {
+		if isSpill(addr.Sym) {
+			continue
+		}
+		if want := ref.Mem[addr]; g != want {
+			return fmt.Errorf("mem %s[%d] = %d, want %d", addr.Sym, addr.Off, g.Int(), want.Int())
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req BatchRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	if len(req.Jobs) == 0 {
+		s.writeError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	// One admission slot per batch: the batch's own fan-out runs under
+	// the driver's worker bound, so a batch costs one queue token however
+	// many jobs it carries.
+	release, err := s.admit(ctx)
+	if errors.Is(err, errShed) {
+		s.shed(w)
+		return
+	}
+	if err != nil {
+		s.writeError(w, http.StatusGatewayTimeout, "timed out waiting for a compile slot")
+		return
+	}
+	defer release()
+	if s.testHook != nil {
+		s.testHook()
+	}
+
+	resp, err := s.runBatch(ctx, &req)
+	if err != nil {
+		s.writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// runBatch fans the batch over pipeline.RunJobsAll. Jobs that fail to
+// parse or resolve report their error in place without consuming a driver
+// slot; the rest compile in parallel, each against the shared cache.
+func (s *Server) runBatch(ctx context.Context, br *BatchRequest) (*BatchResponse, error) {
+	start := time.Now()
+	hits0, misses0 := s.cache.Stats()
+
+	results := make([]BatchResult, len(br.Jobs))
+	type prepared struct {
+		req    *CompileRequest
+		f      *ir.Func
+		method pipeline.Method
+	}
+	var jobs []pipeline.Job
+	var backRef []int // job index -> request index
+	var preps []prepared
+
+	for i := range br.Jobs {
+		cr := &br.Jobs[i]
+		f, isPaper, err := cr.load()
+		if err != nil {
+			results[i] = BatchResult{Error: fmt.Sprintf("parse: %v", err)}
+			continue
+		}
+		method, err := cr.method()
+		if err != nil {
+			results[i] = BatchResult{Error: err.Error()}
+			continue
+		}
+		m, err := cr.Machine.resolve()
+		if err != nil {
+			results[i] = BatchResult{Error: fmt.Sprintf("machine: %v", err)}
+			continue
+		}
+		opts := pipeline.Options{Optimize: cr.Optimize, Workers: cr.Workers}
+		opts.Core.Cache = s.cache
+		job := pipeline.Job{
+			Name:    cr.Name,
+			Func:    f,
+			Machine: m,
+			Method:  method,
+			Opts:    opts,
+		}
+		if cr.Run {
+			init := cr.Init.state()
+			if cr.Init == nil && isPaper {
+				init = workload.PaperInit()
+			}
+			job.Init = init
+			job.MaxCycles = cr.MaxCycles
+			job.InOrder = cr.InOrder
+		}
+		jobs = append(jobs, job)
+		backRef = append(backRef, i)
+		preps = append(preps, prepared{req: cr, f: f, method: method})
+	}
+
+	outs, _ := pipeline.RunJobsAll(ctx, jobs, br.Workers)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for j, out := range outs {
+		i := backRef[j]
+		if out.Err != nil {
+			s.mCompileErr.With(preps[j].method.String()).Inc()
+			results[i] = BatchResult{Error: out.Err.Error()}
+			continue
+		}
+		s.mCompileOK.With(preps[j].method.String()).Inc()
+		resp := &CompileResponse{
+			Name:    preps[j].req.Name,
+			Method:  preps[j].method.String(),
+			Machine: jobs[j].Machine.Name,
+			Stats:   statsJSON(out.Stats),
+		}
+		if out.Prog != nil {
+			resp.Blocks = listings(preps[j].f, out.Prog)
+		}
+		results[i] = BatchResult{CompileResponse: resp}
+	}
+
+	nerr := 0
+	for i := range results {
+		if results[i].Error != "" {
+			nerr++
+		}
+	}
+	hits1, misses1 := s.cache.Stats()
+	return &BatchResponse{
+		Results:   results,
+		Errors:    nerr,
+		Cache:     CacheDelta{Hits: hits1 - hits0, Misses: misses1 - misses0},
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
