@@ -6,13 +6,23 @@
 //
 // Usage:
 //
-//	ursabench           # run everything
-//	ursabench -j 8      # fan each experiment's jobs over 8 workers
-//	ursabench T1 T2     # run selected experiments
-//	ursabench -list     # list experiment ids
+//	ursabench                        # run everything
+//	ursabench -j 8                   # fan each experiment's jobs over 8 workers
+//	ursabench T1 T2                  # run selected experiments
+//	ursabench -list                  # list experiment ids
+//	ursabench -benchjson BENCH_core.json
+//	                                 # run the reduction-loop benchmarks
+//	                                 # instead and write timings as JSON
 //
 // Tables go to stdout and are byte-identical at every -j setting; timing
 // lines go to stderr.
+//
+// -benchjson runs internal/bench's suite (BenchmarkPickBest,
+// BenchmarkReduceLarge; full vs incremental modes) through
+// testing.Benchmark and writes one {name, ns/op, allocs/op, bytes/op}
+// object per benchmark — the repo's perf trajectory. The committed baseline
+// lives at BENCH_core.json; regenerate it on perf-relevant changes and let
+// the diff tell the story.
 package main
 
 import (
@@ -21,14 +31,28 @@ import (
 	"os"
 	"time"
 
+	"ursa/internal/bench"
 	"ursa/internal/experiments"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jobs := flag.Int("j", 0, "workers per experiment (0: all cores, 1: sequential)")
+	benchJSON := flag.String("benchjson", "", "run the reduction-loop benchmarks and write JSON timings to this path")
 	flag.Parse()
 	experiments.SetParallelism(*jobs)
+
+	if *benchJSON != "" {
+		entries := bench.Run(bench.Suite())
+		for _, e := range entries {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		if err := bench.WriteJSON(*benchJSON, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "ursabench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

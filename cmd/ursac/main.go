@@ -39,6 +39,7 @@ func main() {
 		optimize     = flag.Bool("O", false, "run scalar optimizations (fold/copy/CSE/DCE) before compiling")
 		jobs         = flag.Int("j", 0, "compile blocks with N parallel workers (0: all cores, 1: sequential)")
 		listen       = flag.String("listen", "", "serve the compile API on this address instead of compiling (same mux as ursad)")
+		pprofOn      = flag.Bool("pprof", false, "with -listen: mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 		// Share ursad's entry path: the same server mux, started from the
 		// compiler binary, so the serving layer is testable wherever ursac
 		// is already deployed.
-		srv := server.New(server.Config{Logf: log.Printf})
+		srv := server.New(server.Config{Logf: log.Printf, EnablePprof: *pprofOn})
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		if err := srv.ListenAndServe(ctx, *listen); err != nil {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	ursad [-addr :8347] [-concurrency N] [-queue N] [-timeout 60s]
-//	      [-max-body 4194304] [-drain 30s] [-quiet]
+//	      [-max-body 4194304] [-drain 30s] [-quiet] [-pprof]
 //
 // Endpoints:
 //
@@ -42,6 +42,7 @@ func main() {
 		maxBody     = flag.Int64("max-body", 0, "request body size cap in bytes (0: 4MiB)")
 		drain       = flag.Duration("drain", 0, "graceful shutdown budget (0: 30s)")
 		quiet       = flag.Bool("quiet", false, "suppress operational log lines")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		DrainTimeout:   *drain,
 		Logf:           logf,
+		EnablePprof:    *pprofOn,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,135 @@
+// Package bench defines the repo's reduction-loop benchmark suite and the
+// machine-readable timing format behind BENCH_core.json — the perf
+// trajectory the incremental remeasurement engine is held against.
+//
+// The same suite runs two ways: `go test -bench` via the wrappers in
+// bench_test.go (CI runs them under -race with -benchtime=1x as a smoke
+// test), and `ursabench -benchjson <path>`, which executes every benchmark
+// through testing.Benchmark and writes the results as JSON so successive
+// commits can be compared mechanically.
+//
+// Each workload is measured in two modes: "full" re-measures every
+// candidate from scratch (core.Options.DisableIncremental — the pre-engine
+// behavior, kept as the committed baseline) and "incremental" uses the
+// delta engine. The ratio of the two is the engine's speedup, quoted in
+// docs/PERF.md.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"ursa/internal/core"
+	"ursa/internal/dag"
+	"ursa/internal/machine"
+	"ursa/internal/workload"
+)
+
+// An Entry is one benchmark's measured timing in BENCH_core.json.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns/op"`
+	AllocsPerOp int64   `json:"allocs/op"`
+	BytesPerOp  int64   `json:"bytes/op"`
+}
+
+// A Named pairs a benchmark body with its canonical name.
+type Named struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// pickBestGraph builds the large ScoreCandidates workload: a wide layered
+// block whose FU and register demand both far exceed the target machine, so
+// one evaluation round scores a full candidate slate.
+func pickBestGraph() (*dag.Graph, *machine.Config) {
+	return workload.MustBuild(workload.LayeredBlock(12, 6)), machine.VLIW(4, 6)
+}
+
+// reduceGraph builds the BenchmarkReduceLarge workload: big enough that the
+// reduction loop runs many iterations, small enough that the full-measure
+// baseline finishes in benchmark time.
+func reduceGraph() (*dag.Graph, *machine.Config) {
+	return workload.MustBuild(workload.LayeredBlock(12, 6)), machine.VLIW(4, 8)
+}
+
+// benchScore times one candidate-evaluation round (the work pickBest
+// triggers per reduction iteration).
+func benchScore(g *dag.Graph, m *machine.Config, opts core.Options) func(b *testing.B) {
+	return func(b *testing.B) {
+		opts.Machine = m
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts.Cache = nil // fresh cache: measure the work, not the memo
+			if _, err := core.ScoreCandidates(g, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchReduce times a full allocation run (every style retry included).
+func benchReduce(g *dag.Graph, m *machine.Config, opts core.Options) func(b *testing.B) {
+	return func(b *testing.B) {
+		opts.Machine = m
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts.Cache = nil
+			cl := g.Clone()
+			cl.Func = g.Func.Clone()
+			if _, err := core.Run(cl, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Suite returns the reduction-loop benchmarks in canonical order.
+func Suite() []Named {
+	pg, pm := pickBestGraph()
+	rg, rm := reduceGraph()
+	return []Named{
+		{"PickBest/full", benchScore(pg, pm, core.Options{DisableIncremental: true, Workers: 1})},
+		{"PickBest/incremental", benchScore(pg, pm, core.Options{Workers: 1})},
+		{"PickBest/incremental-parallel", benchScore(pg, pm, core.Options{})},
+		{"ReduceLarge/full", benchReduce(rg, rm, core.Options{DisableIncremental: true, Workers: 1})},
+		{"ReduceLarge/incremental", benchReduce(rg, rm, core.Options{Workers: 1})},
+		{"ReduceLarge/incremental-parallel", benchReduce(rg, rm, core.Options{})},
+	}
+}
+
+// Run executes every benchmark through testing.Benchmark and returns the
+// entries in suite order.
+func Run(suite []Named) []Entry {
+	entries := make([]Entry, 0, len(suite))
+	for _, n := range suite {
+		r := testing.Benchmark(n.Bench)
+		entries = append(entries, Entry{
+			Name:        n.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return entries
+}
+
+// WriteJSON writes the entries to path in the BENCH_core.json schema:
+// a JSON array of {name, ns/op, allocs/op, bytes/op} objects, indented and
+// newline-terminated so committed baselines diff cleanly.
+func WriteJSON(path string, entries []Entry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// String renders one entry for human consumption.
+func (e Entry) String() string {
+	return fmt.Sprintf("%-32s %12.0f ns/op %8d B/op %6d allocs/op",
+		e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ursa/internal/core"
+	"ursa/internal/measure"
+)
+
+// BenchmarkPickBest times one candidate-evaluation round on the large
+// layered workload, full-remeasure vs incremental.
+func BenchmarkPickBest(b *testing.B) {
+	for _, n := range Suite() {
+		if len(n.Name) >= 8 && n.Name[:8] == "PickBest" {
+			b.Run(n.Name[9:], n.Bench)
+		}
+	}
+}
+
+// BenchmarkReduceLarge times the full reduction loop on the large workload,
+// full-remeasure vs incremental.
+func BenchmarkReduceLarge(b *testing.B) {
+	for _, n := range Suite() {
+		if len(n.Name) >= 11 && n.Name[:11] == "ReduceLarge" {
+			b.Run(n.Name[12:], n.Bench)
+		}
+	}
+}
+
+// TestModesAgree pins the property the benchmarks rely on: the full and
+// incremental modes do identical allocation work on the benchmark
+// workloads, so their timing ratio compares implementations, not outcomes.
+func TestModesAgree(t *testing.T) {
+	g, m := reduceGraph()
+	var refIters, refSpills int
+	for i, opts := range []core.Options{
+		{Machine: m, DisableIncremental: true, Workers: 1},
+		{Machine: m, Workers: 1},
+		{Machine: m},
+	} {
+		cl := g.Clone()
+		cl.Func = g.Func.Clone()
+		rep, err := core.Run(cl, opts)
+		if err != nil {
+			t.Fatalf("mode %d: %v", i, err)
+		}
+		if i == 0 {
+			refIters, refSpills = rep.Iterations, rep.SpillsInserted
+			continue
+		}
+		if rep.Iterations != refIters || rep.SpillsInserted != refSpills {
+			t.Errorf("mode %d: %d iterations / %d spills, reference %d / %d",
+				i, rep.Iterations, rep.SpillsInserted, refIters, refSpills)
+		}
+	}
+}
+
+// TestScoreCandidatesFindsWork ensures the PickBest workload actually has
+// candidates to score — an empty round would benchmark nothing.
+func TestScoreCandidatesFindsWork(t *testing.T) {
+	g, m := pickBestGraph()
+	n, err := core.ScoreCandidates(g, core.Options{Machine: m, Cache: measure.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("PickBest workload produced no candidates")
+	}
+	t.Logf("PickBest workload scores %d candidates per round", n)
+}
+
+// TestWriteJSON round-trips the BENCH_core.json schema.
+func TestWriteJSON(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	in := []Entry{{Name: "X/y", NsPerOp: 1234.5, AllocsPerOp: 7, BytesPerOp: 4096}}
+	if err := WriteJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `"name": "X/y"`
+	if !strings.Contains(string(data), want) {
+		t.Fatalf("written JSON missing %q:\n%s", want, data)
+	}
+}

@@ -23,10 +23,11 @@ const (
 	OracleLegal    = "legality"     // emitted code within FU and register limits
 	OracleMono     = "monotonicity" // transforms never raise the width they target
 	OracleDiffExec = "diffexec"     // compiled code vs sequential interpreter
+	OracleDelta    = "delta"        // incremental remeasurement vs from-scratch
 )
 
 // AllOracles lists every oracle in execution order.
-var AllOracles = []string{OracleWidth, OracleLegal, OracleMono, OracleDiffExec}
+var AllOracles = []string{OracleWidth, OracleLegal, OracleMono, OracleDiffExec, OracleDelta}
 
 // bruteWidthLimit bounds the exhaustive antichain enumeration: above this
 // many items only the polynomial cross-checks run.
@@ -102,6 +103,8 @@ func runOracle(rep *Report, name string, c *Case) {
 		checkMonotonicity(rep, c)
 	case OracleDiffExec:
 		checkDiffExec(rep, c)
+	case OracleDelta:
+		checkDelta(rep, c)
 	default:
 		rep.failf(name, "unknown oracle")
 	}

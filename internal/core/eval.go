@@ -1,0 +1,217 @@
+package core
+
+import (
+	"runtime"
+
+	"ursa/internal/dag"
+	"ursa/internal/driver"
+	"ursa/internal/measure"
+	"ursa/internal/metrics"
+	"ursa/internal/order"
+	"ursa/internal/transform"
+)
+
+// evalOutcome is the measured effect of tentatively applying one candidate:
+// the total over-limit width and the critical path of the transformed
+// graph. ok is false when the candidate turned out inapplicable (its Apply
+// failed), in which case the selection ignores it — exactly as the old
+// clone-and-apply loop skipped candidates whose Apply errored.
+type evalOutcome struct {
+	s      scored
+	ok     bool
+	excess int
+	crit   int
+}
+
+// evaluator scores one reduction iteration's candidates. It owns the
+// hoisted per-iteration state — the committed graph's hammock nest levels,
+// its transitive closure, and the committed measurements — plus one scratch
+// graph per worker, and fans the candidates out via internal/driver.
+//
+// Two evaluation paths exist:
+//
+//   - Sequencing-only candidates apply their edges to the worker's scratch
+//     graph in place, update the scratch copy of the closure with
+//     order.Relation.AddClosureEdge, derive each resource's new reuse pairs
+//     from the closure (reuse.Reuse.UpdateClosure), warm-start the matching
+//     from the committed measurement (measure.ChainsDelta), and undo the
+//     edges. No clone, no closure recomputation, no from-scratch matching.
+//   - Spill candidates (and everything when Options.DisableIncremental is
+//     set, or when a register resource's kill selection shifted under the
+//     new closure) fall back to the old path: clone the graph, apply, and
+//     re-measure every resource from scratch through the cache. Spills
+//     restructure values — they add nodes and rewrite uses — so no cheap
+//     delta exists. The scratch clones carry a private ir.Func so tentative
+//     spill applies can allocate their reload registers without racing on
+//     the real function.
+//
+// Both paths produce the same widths (a maximum matching is a maximum
+// matching however it is reached; the delta oracle in internal/check holds
+// this to account on every fuzz case), so the selection is bit-identical
+// across paths and across worker counts.
+type evaluator struct {
+	g         *dag.Graph
+	resources []Resource
+	results   map[string]*measure.Result
+	levels    []int
+	reach     *order.Relation
+	lat       func(*dag.Node) int
+	opts      *Options
+	workers   int
+	scratches []*evalScratch
+}
+
+// evalScratch is one worker's private state: a clone of the iteration's
+// graph (with a cloned Func) that seq candidates mutate and undo, and a
+// closure buffer reset from the committed closure per candidate.
+type evalScratch struct {
+	g     *dag.Graph
+	reach *order.Relation
+}
+
+func newEvaluator(g *dag.Graph, resources []Resource, results map[string]*measure.Result,
+	levels []int, lat func(*dag.Node) int, opts *Options) *evaluator {
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &evaluator{
+		g:         g,
+		resources: resources,
+		results:   results,
+		levels:    levels,
+		lat:       lat,
+		opts:      opts,
+		workers:   workers,
+		scratches: make([]*evalScratch, workers),
+	}
+	if !opts.DisableIncremental {
+		e.reach = g.Reach()
+	}
+	return e
+}
+
+// scratch returns worker w's scratch state, building it on first use so
+// iterations whose candidates all take the full path never pay for clones.
+func (e *evaluator) scratch(w int) *evalScratch {
+	if e.scratches[w] == nil {
+		cl := e.g.Clone()
+		cl.Func = e.g.Func.Clone()
+		e.scratches[w] = &evalScratch{g: cl, reach: order.NewRelation(e.reach.Size())}
+	}
+	return e.scratches[w]
+}
+
+// evalAll scores every candidate and returns the outcomes in candidate
+// order. Candidates with identical effect (equal transform.Candidate.Key)
+// are measured once and share the measurement; the returned slice still
+// carries one entry per input candidate so the selection sort ranks exactly
+// the sequence the pre-engine code ranked, ties included.
+func (e *evaluator) evalAll(cands []scored) ([]evalOutcome, error) {
+	slot := make([]int, len(cands))
+	uniq := make([]int, 0, len(cands))
+	firstIdx := make(map[string]int, len(cands))
+	for i, s := range cands {
+		k := s.cand.Key()
+		if j, ok := firstIdx[k]; ok {
+			slot[i] = j
+			continue
+		}
+		firstIdx[k] = len(uniq)
+		slot[i] = len(uniq)
+		uniq = append(uniq, i)
+	}
+	metrics.AddCandidateEvals(uint64(len(uniq)))
+
+	outs, _, err := driver.MapWorkers(len(uniq), func(w, j int) (evalOutcome, error) {
+		s := cands[uniq[j]]
+		if e.opts.DisableIncremental || !s.cand.SeqOnly() {
+			return e.evalFull(s), nil
+		}
+		return e.evalSeq(e.scratch(w), s), nil
+	}, driver.Options{Workers: e.workers, KeepGoing: true})
+	if err != nil {
+		// Jobs never return errors themselves; this is a recovered panic
+		// from a measurement, which the old inline loop would have
+		// propagated. Do the same instead of silently dropping candidates.
+		return nil, err
+	}
+
+	all := make([]evalOutcome, len(cands))
+	for i := range cands {
+		o := outs[slot[i]]
+		o.s = cands[i] // each entry keeps its own resource label and Note
+		all[i] = o
+	}
+	return all, nil
+}
+
+// evalSeq scores a sequencing-only candidate incrementally on the worker's
+// scratch graph: apply, delta-measure, undo.
+func (e *evaluator) evalSeq(sc *evalScratch, s scored) evalOutcome {
+	added, undo, err := s.cand.ApplyUndo(sc.g)
+	if err != nil {
+		return evalOutcome{s: s}
+	}
+	defer undo()
+	sc.reach.CopyFrom(e.reach)
+	for _, ed := range added {
+		sc.reach.AddClosureEdge(ed[0], ed[1])
+	}
+	excess := 0
+	for _, r := range e.resources {
+		prev := e.results[r.Name]
+		var w int
+		if ru, ok := prev.R.UpdateClosure(sc.g, sc.reach); ok {
+			w = measure.ChainsDelta(prev, ru, e.levels).Width
+		} else {
+			// Kill selection shifted: the old matching may no longer be a
+			// matching of the new order. Full rebuild for this resource.
+			w = e.opts.Cache.Measure(sc.g, r.Name, r.Build).Width
+		}
+		if d := w - r.Limit; d > 0 {
+			excess += d
+		}
+	}
+	crit, _ := sc.g.CriticalPath(e.lat)
+	return evalOutcome{s: s, ok: true, excess: excess, crit: crit}
+}
+
+// evalFull scores a candidate the pre-engine way: clone, apply, re-measure
+// everything from scratch (through the cache, which still catches repeats
+// of the same transformed state across styles and plateau scans).
+func (e *evaluator) evalFull(s scored) evalOutcome {
+	cl := e.g.Clone()
+	cl.Func = e.g.Func.Clone()
+	if err := s.cand.Apply(cl); err != nil {
+		return evalOutcome{s: s}
+	}
+	excess := 0
+	for _, r := range e.resources {
+		res := e.opts.Cache.Measure(cl, r.Name, r.Build)
+		if d := res.Width - r.Limit; d > 0 {
+			excess += d
+		}
+	}
+	crit, _ := cl.CriticalPath(e.lat)
+	return evalOutcome{s: s, ok: true, excess: excess, crit: crit}
+}
+
+// kindRanks returns the §5 kind preference for the style: at equal impact
+// sequencing beats spilling (no extra memory traffic); styleSpillFirst
+// flips this.
+func kindRanks(style scoreStyle) map[transform.Kind]int {
+	if style == styleSpillFirst {
+		return map[transform.Kind]int{
+			transform.Spill:       0,
+			transform.RegSequence: 1,
+			transform.FUSequence:  2,
+		}
+	}
+	return map[transform.Kind]int{
+		transform.RegSequence: 0,
+		transform.FUSequence:  1,
+		transform.Spill:       2,
+	}
+}

@@ -77,6 +77,18 @@ type Options struct {
 	// same resource name onto different instruction sets. When nil, Run
 	// creates a private cache for its internal re-measurements.
 	Cache *measure.Cache
+	// Workers bounds the concurrent candidate evaluations per reduction
+	// iteration (driver semantics: zero or negative means GOMAXPROCS, one
+	// evaluates inline). Results are bit-identical across worker counts —
+	// outcomes are collected by candidate index and ranked by a
+	// deterministic sort.
+	Workers int
+	// DisableIncremental reverts candidate scoring to the pre-engine
+	// behavior: clone the graph per candidate and re-measure every
+	// resource from scratch. Kept as the reference implementation for the
+	// differential delta oracle and as the baseline the reduction-loop
+	// benchmarks compare against.
+	DisableIncremental bool
 }
 
 // A Resource pairs a reuse-structure builder with its machine limit.
@@ -353,16 +365,24 @@ func runOnce(g *dag.Graph, opts Options, style scoreStyle) (*Report, error) {
 		// the transformed DAG.
 		plateau := 4
 		for rep.Iterations < maxIters && excess > 0 {
-			cands := collectCandidates(g, phase, results, opts)
+			// One Hammocks pass per iteration, shared by excess-set location
+			// and by the delta measurements' priority levels.
+			hammocks := g.Hammocks()
+			cands := collectCandidates(g, phase, results, opts, hammocks)
 			if len(cands) == 0 {
 				break
 			}
-			best, bestExcess, improved := pickBest(g, cands, widths, excess, lat, style)
+			ev := newEvaluator(g, resources, results, g.NestLevels(hammocks), lat, &opts)
+			outs, err := ev.evalAll(cands)
+			if err != nil {
+				return nil, err
+			}
+			best, bestExcess, improved := pickBest(outs, excess, style)
 			if !improved {
 				if plateau == 0 {
 					break
 				}
-				best, bestExcess, improved = pickPlateau(g, cands, widths, excess, lat)
+				best, bestExcess, improved = pickPlateau(outs, excess)
 				if !improved {
 					break
 				}
@@ -416,8 +436,13 @@ type scored struct {
 
 // collectCandidates generates reduction candidates for every over-limit
 // resource in the group, using the innermost and outermost excessive sets.
-func collectCandidates(g *dag.Graph, group []Resource, results map[string]*measure.Result, opts Options) []scored {
-	hammocks := g.Hammocks()
+// hammocks is the committed graph's hammock list, computed once per
+// iteration by the caller. The innermost and outermost sets (and different
+// generators) routinely emit candidates with identical effect; those are
+// kept in place — the selection ranks the exact historical sequence — but
+// the evaluator canonicalizes them by transform.Candidate.Key and measures
+// each distinct effect once.
+func collectCandidates(g *dag.Graph, group []Resource, results map[string]*measure.Result, opts Options, hammocks []*dag.Hammock) []scored {
 	var out []scored
 	for _, r := range group {
 		res := results[r.Name]
@@ -454,13 +479,14 @@ func collectCandidates(g *dag.Graph, group []Resource, results map[string]*measu
 	return out
 }
 
-// pickBest tentatively applies every candidate to a clone, re-measures, and
-// returns the candidate minimizing (total excess, critical path, kind rank).
-// improved is false when no candidate strictly reduces total excess.
-func pickBest(g *dag.Graph, cands []scored,
-	widths func(*dag.Graph) (map[string]*measure.Result, int),
-	curExcess int, lat func(*dag.Node) int, style scoreStyle) (scored, int, bool) {
-
+// pickBest ranks the evaluated outcomes and returns the candidate
+// minimizing (total excess, critical path, kind rank). improved is false
+// when no candidate strictly reduces total excess. The tentative
+// application and measurement happen beforehand in evaluator.evalAll —
+// concurrently, on per-worker scratch graphs — but the ranking here sees
+// the outcomes in candidate order, so the winner is the same one the old
+// inline clone-apply-measure loop picked.
+func pickBest(evals []evalOutcome, curExcess int, style scoreStyle) (scored, int, bool) {
 	type outcome struct {
 		s      scored
 		excess int
@@ -468,29 +494,13 @@ func pickBest(g *dag.Graph, cands []scored,
 		rank   int
 		size   int // number of edges the move adds
 	}
-	kindRank := map[transform.Kind]int{
-		transform.RegSequence: 0,
-		transform.FUSequence:  1,
-		// §5: at equal impact sequencing beats spilling — no extra memory
-		// traffic. styleSpillFirst flips this.
-		transform.Spill: 2,
-	}
-	if style == styleSpillFirst {
-		kindRank = map[transform.Kind]int{
-			transform.Spill:       0,
-			transform.RegSequence: 1,
-			transform.FUSequence:  2,
-		}
-	}
+	kindRank := kindRanks(style)
 	var outs []outcome
-	for _, s := range cands {
-		cl := g.Clone()
-		if err := s.cand.Apply(cl); err != nil {
+	for _, o := range evals {
+		if !o.ok {
 			continue
 		}
-		_, ex := widths(cl)
-		crit, _ := cl.CriticalPath(lat)
-		outs = append(outs, outcome{s, ex, crit, kindRank[s.cand.Kind], len(s.cand.Edges)})
+		outs = append(outs, outcome{o.s, o.excess, o.crit, kindRank[o.s.cand.Kind], len(o.s.cand.Edges)})
 	}
 	if len(outs) == 0 {
 		return scored{}, curExcess, false
@@ -534,32 +544,26 @@ func pickBest(g *dag.Graph, cands []scored,
 // pickPlateau returns the best candidate whose total excess equals the
 // current one (an excess-preserving move), preferring spills — they change
 // the DAG's value structure and open reductions sequencing cannot reach.
-func pickPlateau(g *dag.Graph, cands []scored,
-	widths func(*dag.Graph) (map[string]*measure.Result, int),
-	curExcess int, lat func(*dag.Node) int) (scored, int, bool) {
-
+// It reuses the iteration's outcomes: the old code re-applied and
+// re-measured every spill candidate here, which the measurement cache
+// collapsed into pure repeats anyway.
+func pickPlateau(evals []evalOutcome, curExcess int) (scored, int, bool) {
 	type outcome struct {
 		s      scored
 		excess int
 		crit   int
 	}
 	var outs []outcome
-	for _, s := range cands {
-		if s.cand.Kind != transform.Spill {
+	for _, o := range evals {
+		if o.s.cand.Kind != transform.Spill {
 			// Sequencing-only plateau moves just narrow the DAG without
 			// changing its value structure; restrict plateaus to spills.
 			continue
 		}
-		cl := g.Clone()
-		if err := s.cand.Apply(cl); err != nil {
+		if !o.ok || o.excess > curExcess {
 			continue
 		}
-		_, ex := widths(cl)
-		if ex > curExcess {
-			continue
-		}
-		crit, _ := cl.CriticalPath(lat)
-		outs = append(outs, outcome{s, ex, crit})
+		outs = append(outs, outcome{o.s, o.excess, o.crit})
 	}
 	if len(outs) == 0 {
 		return scored{}, curExcess, false

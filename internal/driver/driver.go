@@ -77,6 +77,16 @@ func normWorkers(w int) int {
 // succeeded). Skipped jobs have their zero value and ErrSkipped recorded;
 // use Errs to inspect per-job failures.
 func Map[T any](n int, fn func(i int) (T, error), opts Options) ([]T, []error, error) {
+	return MapWorkers(n, func(_, i int) (T, error) { return fn(i) }, opts)
+}
+
+// MapWorkers is Map with the worker slot exposed: fn receives the index of
+// the worker (0..workers-1) running the job in addition to the job index,
+// so callers can keep per-worker scratch state (preallocated clones,
+// closure buffers) without locking. When the pool runs inline, every job
+// sees worker 0. Job-to-worker assignment is otherwise nondeterministic, so
+// scratch state must never influence a job's result — only its cost.
+func MapWorkers[T any](n int, fn func(worker, i int) (T, error), opts Options) ([]T, []error, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	if n == 0 {
@@ -98,7 +108,7 @@ func Map[T any](n int, fn func(i int) (T, error), opts Options) ([]T, []error, e
 		return opts.Ctx.Err()
 	}
 
-	run := func(i int) {
+	run := func(worker, i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				stack := make([]byte, 64<<10)
@@ -106,7 +116,7 @@ func Map[T any](n int, fn func(i int) (T, error), opts Options) ([]T, []error, e
 				errs[i] = &PanicError{Value: r, Stack: stack}
 			}
 		}()
-		results[i], errs[i] = fn(i)
+		results[i], errs[i] = fn(worker, i)
 	}
 
 	var failed atomic.Bool
@@ -120,7 +130,7 @@ func Map[T any](n int, fn func(i int) (T, error), opts Options) ([]T, []error, e
 				errs[i] = ErrSkipped
 				continue
 			}
-			run(i)
+			run(0, i)
 			if errs[i] != nil {
 				failed.Store(true)
 			}
@@ -130,7 +140,7 @@ func Map[T any](n int, fn func(i int) (T, error), opts Options) ([]T, []error, e
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
@@ -145,12 +155,12 @@ func Map[T any](n int, fn func(i int) (T, error), opts Options) ([]T, []error, e
 						errs[i] = ErrSkipped
 						continue
 					}
-					run(i)
+					run(worker, i)
 					if errs[i] != nil {
 						failed.Store(true)
 					}
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}

@@ -188,3 +188,43 @@ func TestEmptyBatch(t *testing.T) {
 		t.Fatalf("empty batch: %v %v %v", got, errs, err)
 	}
 }
+
+// TestMapWorkersSlotIDs: every job sees a worker id in [0, workers), the
+// inline path always reports worker 0, and two jobs observed concurrently
+// never share a slot — the property per-worker scratch state relies on.
+func TestMapWorkersSlotIDs(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, 8} {
+		var active [8 + 1]atomic.Int32
+		ids, errs, err := MapWorkers(n, func(worker, i int) (int, error) {
+			if worker < 0 || worker >= workers {
+				t.Errorf("workers=%d: job %d got worker id %d", workers, i, worker)
+			}
+			if active[worker].Add(1) != 1 {
+				t.Errorf("workers=%d: slot %d shared by concurrent jobs", workers, worker)
+			}
+			x := 0
+			for k := 0; k < (i%7)*500; k++ {
+				x += k
+			}
+			_ = x
+			active[worker].Add(-1)
+			return worker, nil
+		}, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range errs {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: errs[%d] = %v", workers, i, errs[i])
+			}
+		}
+		if workers == 1 {
+			for i, id := range ids {
+				if id != 0 {
+					t.Fatalf("inline path: job %d ran on worker %d, want 0", i, id)
+				}
+			}
+		}
+	}
+}

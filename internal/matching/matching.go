@@ -49,6 +49,27 @@ func (m *Incremental) AddEdge(l, r int) {
 	m.adj[l] = append(m.adj[l], int32(r))
 }
 
+// Seed installs a known-valid matching before augmentation: pairs maps each
+// left vertex to its matched right vertex, -1 for unmatched. This is the
+// warm start behind the measurement delta path: a maximum matching over an
+// edge set stays a valid matching after edges are added, so reseeding it and
+// augmenting from the remaining unmatched left vertices restores maximality
+// without rederiving the prior pairs. The pairs must be consistent (panics
+// if a right vertex is claimed twice) and must correspond to edges of the
+// graph being rebuilt, which the caller guarantees.
+func (m *Incremental) Seed(pairs []int) {
+	for l, r := range pairs {
+		if r < 0 {
+			continue
+		}
+		if m.matchR[r] != -1 {
+			panic("matching: Seed pairs claim a right vertex twice")
+		}
+		m.matchL[l] = int32(r)
+		m.matchR[r] = int32(l)
+	}
+}
+
 // Augment runs augmenting-path search from every unmatched left vertex and
 // returns the current matching size. Call after each batch of AddEdge calls.
 func (m *Incremental) Augment() int {

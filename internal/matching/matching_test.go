@@ -184,3 +184,74 @@ func BenchmarkHopcroftKarp256(b *testing.B) {
 		HopcroftKarp(256, 256, adj)
 	}
 }
+
+// TestSeedWarmStart: seeding a maximum matching of a subgraph and
+// augmenting after new edges arrive reaches the same size as building from
+// scratch — the invariant the measurement delta path rests on.
+func TestSeedWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		nl, nr := 1+rng.Intn(12), 1+rng.Intn(12)
+		var oldEdges, newEdges [][2]int
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				switch rng.Intn(4) {
+				case 0:
+					oldEdges = append(oldEdges, [2]int{l, r})
+				case 1:
+					newEdges = append(newEdges, [2]int{l, r})
+				}
+			}
+		}
+
+		base := NewIncremental(nl, nr)
+		for _, e := range oldEdges {
+			base.AddEdge(e[0], e[1])
+		}
+		base.Augment()
+		pairs := make([]int, nl)
+		for l := 0; l < nl; l++ {
+			pairs[l] = base.PairL(l)
+		}
+
+		warm := NewIncremental(nl, nr)
+		for _, e := range oldEdges {
+			warm.AddEdge(e[0], e[1])
+		}
+		warm.Seed(pairs)
+		if warm.Size() != base.Size() {
+			t.Fatalf("trial %d: seeded size %d, original %d", trial, warm.Size(), base.Size())
+		}
+		for _, e := range newEdges {
+			warm.AddEdge(e[0], e[1])
+		}
+		warm.Augment()
+
+		cold := NewIncremental(nl, nr)
+		for _, e := range oldEdges {
+			cold.AddEdge(e[0], e[1])
+		}
+		for _, e := range newEdges {
+			cold.AddEdge(e[0], e[1])
+		}
+		cold.Augment()
+
+		if warm.Size() != cold.Size() {
+			t.Fatalf("trial %d: warm-started size %d, from-scratch %d", trial, warm.Size(), cold.Size())
+		}
+	}
+}
+
+// TestSeedRejectsConflict: claiming one right vertex twice must panic —
+// a corrupted seed would silently undercount widths otherwise.
+func TestSeedRejectsConflict(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting seed did not panic")
+		}
+	}()
+	m := NewIncremental(2, 1)
+	m.AddEdge(0, 0)
+	m.AddEdge(1, 0)
+	m.Seed([]int{0, 0})
+}

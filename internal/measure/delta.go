@@ -1,0 +1,73 @@
+package measure
+
+import (
+	"ursa/internal/matching"
+	"ursa/internal/reuse"
+)
+
+// ChainsDelta computes the minimum chain decomposition of an updated reuse
+// order by warm-starting the matcher from a previous measurement instead of
+// matching from scratch. prev must be the measurement of the same item set
+// under a subset of r's pairs — the situation after sequencing edges are
+// added to the graph (reuse orders only gain pairs; see
+// reuse.Reuse.UpdateClosure). The previous maximum matching remains a valid
+// matching over the enlarged edge set, so it is reseeded verbatim and
+// augmentation runs only for the added edges, which are fed in the same
+// prioritized hammock-level batches as a full Chains run. The resulting
+// width is exactly the from-scratch width (augmenting-path maximality does
+// not depend on the starting matching); the chains themselves may be a
+// different — equally minimal — decomposition, which is fine because delta
+// measurements feed only candidate scoring, never candidate generation.
+//
+// When prev does not describe the same item set (or is nil), ChainsDelta
+// falls back to the full computation.
+func ChainsDelta(prev *Result, r *reuse.Reuse, levels []int) *Result {
+	n := r.NumItems()
+	if prev == nil || prev.R == nil || prev.R.NumItems() != n {
+		return Chains(r, levels)
+	}
+	edges := sortedEdges(r, levels)
+
+	m := matching.NewIncremental(n, n)
+	// Install the surviving (old) edges first without augmenting: the seeded
+	// matching already covers them maximally.
+	old := prev.R.Rel
+	fresh := edges[:0:0]
+	for _, e := range edges {
+		if old.Has(e.a, e.b) {
+			m.AddEdge(e.a, e.b)
+		} else {
+			fresh = append(fresh, e)
+		}
+	}
+	m.Seed(pairsOf(prev))
+
+	// Re-augment over the added edges only, preserving the prioritized
+	// batching (fresh is still sorted by priority).
+	for i := 0; i < len(fresh); {
+		j := i
+		for j < len(fresh) && fresh[j].prio == fresh[i].prio {
+			m.AddEdge(fresh[j].a, fresh[j].b)
+			j++
+		}
+		m.Augment()
+		i = j
+	}
+	return buildResult(r, m)
+}
+
+// pairsOf reconstructs the left-to-right matching pairs underlying a
+// measured decomposition: consecutive chain elements x, y mean x's resource
+// instance is reused by y, i.e. left vertex x is matched to right vertex y.
+func pairsOf(prev *Result) []int {
+	pairs := make([]int, len(prev.ChainOf))
+	for i := range pairs {
+		pairs[i] = -1
+	}
+	for _, c := range prev.Chains {
+		for k := 0; k+1 < len(c); k++ {
+			pairs[c[k]] = c[k+1]
+		}
+	}
+	return pairs
+}

@@ -34,17 +34,19 @@ type Result struct {
 	ChainOf []int
 }
 
-// Chains computes a minimum chain decomposition of the reuse order using
-// prioritized incremental matching. levels gives each graph node's hammock
-// nesting level (from dag.Graph.NestLevels); nil means no prioritization.
-func Chains(r *reuse.Reuse, levels []int) *Result {
-	n := r.NumItems()
-	type edge struct {
-		a, b int
-		prio int
-	}
-	var edges []edge
-	for a := 0; a < n; a++ {
+// relEdge is one reuse pair with its hammock-crossing priority (the
+// absolute nesting-level difference of the two producers; 0 when no level
+// information is supplied).
+type relEdge struct {
+	a, b int
+	prio int
+}
+
+// sortedEdges lists the reuse order's pairs sorted by (priority, a, b): the
+// canonical order in which the prioritized matcher consumes them.
+func sortedEdges(r *reuse.Reuse, levels []int) []relEdge {
+	var edges []relEdge
+	for a := 0; a < r.NumItems(); a++ {
 		r.Rel.Row(a).ForEach(func(b int) {
 			prio := 0
 			if levels != nil {
@@ -56,7 +58,7 @@ func Chains(r *reuse.Reuse, levels []int) *Result {
 					prio = lb - la
 				}
 			}
-			edges = append(edges, edge{a, b, prio})
+			edges = append(edges, relEdge{a, b, prio})
 		})
 	}
 	sort.Slice(edges, func(i, j int) bool {
@@ -68,7 +70,15 @@ func Chains(r *reuse.Reuse, levels []int) *Result {
 		}
 		return edges[i].b < edges[j].b
 	})
+	return edges
+}
 
+// Chains computes a minimum chain decomposition of the reuse order using
+// prioritized incremental matching. levels gives each graph node's hammock
+// nesting level (from dag.Graph.NestLevels); nil means no prioritization.
+func Chains(r *reuse.Reuse, levels []int) *Result {
+	n := r.NumItems()
+	edges := sortedEdges(r, levels)
 	m := matching.NewIncremental(n, n)
 	for i := 0; i < len(edges); {
 		j := i
@@ -79,7 +89,13 @@ func Chains(r *reuse.Reuse, levels []int) *Result {
 		m.Augment()
 		i = j
 	}
+	return buildResult(r, m)
+}
 
+// buildResult turns a maximum matching over the reuse order into the chain
+// decomposition Result, in deterministic order.
+func buildResult(r *reuse.Reuse, m *matching.Incremental) *Result {
+	n := r.NumItems()
 	res := &Result{R: r, ChainOf: make([]int, n)}
 	res.Width = n - m.Size()
 	// Build chains by following matched successors from each chain head

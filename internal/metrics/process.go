@@ -1,0 +1,20 @@
+package metrics
+
+import "sync/atomic"
+
+// Process-wide compiler counters. The reduction loop runs deep inside
+// internal/core, far below any Registry; a registry handle cannot be
+// threaded there without widening every allocator API. Instead core bumps
+// these package-level atomics and the serving layer surfaces them at scrape
+// time through Registry.Func, the same pattern Prometheus clients use for
+// process collectors.
+
+var candidateEvals atomic.Uint64
+
+// AddCandidateEvals records n tentative candidate evaluations (one per
+// candidate scored by the reduction loop, across all styles and blocks).
+func AddCandidateEvals(n uint64) { candidateEvals.Add(n) }
+
+// CandidateEvals returns the process-wide total of tentative candidate
+// evaluations performed by the reduction loop.
+func CandidateEvals() uint64 { return candidateEvals.Load() }

@@ -77,6 +77,41 @@ func TestQuickReductionMinimal(t *testing.T) {
 	}
 }
 
+func TestQuickAddClosureEdge(t *testing.T) {
+	// Maintaining the closure one edge at a time with AddClosureEdge matches
+	// recomputing it from scratch after every addition. Edges i->j with i<j
+	// keep the relation acyclic by construction; repeats and self-loops are
+	// no-ops.
+	f := func(g relGen, edges []uint8) bool {
+		base := g.rel.Clone()
+		inc := base.TransitiveClosure()
+		n := base.Size()
+		for _, e := range edges {
+			u, v := int(e)/n%n, int(e)%n
+			if u == v {
+				inc.AddClosureEdge(u, v) // self-loop: must be a no-op
+			}
+			if u >= v {
+				continue // skip potential cycles; only acyclic additions apply
+			}
+			base.Add(u, v)
+			inc.AddClosureEdge(u, v)
+			want := base.TransitiveClosure()
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					if inc.Has(a, b) != want.Has(a, b) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestQuickDilworthDuality(t *testing.T) {
 	// Width (max antichain) times height (longest chain) bounds n, and the
 	// width never exceeds n nor drops below 1 on a nonempty set.

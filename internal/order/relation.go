@@ -53,6 +53,19 @@ func (r *Relation) Clone() *Relation {
 	return c
 }
 
+// CopyFrom overwrites r with the contents of o. Both relations must be over
+// ground sets of the same size. Reusing one preallocated relation as a
+// copy target is how the candidate evaluator resets its scratch closure
+// between tentative applications without reallocating.
+func (r *Relation) CopyFrom(o *Relation) {
+	if r.n != o.n {
+		panic(fmt.Sprintf("order: CopyFrom size mismatch: %d vs %d", r.n, o.n))
+	}
+	for i, row := range o.rows {
+		r.rows[i].CopyFrom(row)
+	}
+}
+
 // TransitiveClosure returns the transitive closure of r, computed row-wise
 // in reverse topological order when r is acyclic, falling back to iteration
 // to a fixed point otherwise. O(n²·n/64) for the acyclic case.
@@ -82,6 +95,28 @@ func (r *Relation) TransitiveClosure() *Relation {
 		}
 	}
 	return c
+}
+
+// AddClosureEdge updates r — which must already be transitively closed — in
+// place to the closure of the underlying relation plus the edge (u, v),
+// assuming the addition keeps the relation acyclic (v must not reach u).
+// Everything that reaches u, and u itself, now also reaches v and everything
+// v reaches: for every such row, OR in v's row and set v. O(n·n/64), versus
+// O(n²·n/64) for recomputing the closure — this is what makes tentative
+// sequencing candidates (which only add edges) cheap to remeasure.
+func (r *Relation) AddClosureEdge(u, v int) {
+	if u == v || r.Has(u, v) {
+		return
+	}
+	rv := r.rows[v]
+	r.rows[u].Or(rv)
+	r.rows[u].Set(v)
+	for a := 0; a < r.n; a++ {
+		if a != u && r.rows[a].Has(u) {
+			r.rows[a].Or(rv)
+			r.rows[a].Set(v)
+		}
+	}
 }
 
 // TransitiveReduction returns the minimal relation with the same transitive

@@ -1,0 +1,70 @@
+package reuse
+
+import (
+	"ursa/internal/dag"
+	"ursa/internal/order"
+)
+
+// UpdateClosure derives the reuse structure of the graph after sequencing
+// edges were added, given reach — the graph's updated node-reachability
+// closure, typically maintained in place via order.Relation.AddClosureEdge.
+// Sequencing adds no instructions and removes no uses, so the item set is
+// unchanged and CanReuse_R can only gain pairs; the returned structure
+// shares Items (and Kill, for register resources) with r and carries the
+// recomputed Rel. The transitive reduction is not recomputed — it is needed
+// only for rendering, never for measurement — so the result's Reduced is
+// nil and the result must not be fed to candidate generation or Dot.
+//
+// For functional-unit resources the update always succeeds: CanReuse_FU is
+// reachability restricted to the items. For register resources the kill
+// selection is recomputed against the new closure first; added reachability
+// can demote a use from maximal or shift the greedy minimum cover, and when
+// the kill vector changes the old matching is no longer guaranteed to stay
+// valid, so UpdateClosure reports ok=false and the caller must fall back to
+// a full rebuild (the same fallback spill candidates always take, since
+// they restructure values).
+func (r *Reuse) UpdateClosure(g *dag.Graph, reach *order.Relation) (nr *Reuse, ok bool) {
+	kill := r.Kill
+	if r.IsReg {
+		kill = SelectKills(g, r.Items, reach)
+		for i := range kill {
+			if kill[i] != r.Kill[i] {
+				return nil, false
+			}
+		}
+	}
+
+	nr = &Reuse{
+		Graph:  g,
+		Items:  r.Items,
+		Kill:   kill,
+		IsReg:  r.IsReg,
+		Class:  r.Class,
+		byNode: r.byNode,
+	}
+	nr.Rel = order.NewRelation(len(r.Items))
+	if r.IsReg {
+		for i := range r.Items {
+			k := kill[i]
+			if k < 0 {
+				continue
+			}
+			row := reach.Row(k)
+			for j, b := range r.Items {
+				if i != j && (k == b.Node || row.Has(b.Node)) {
+					nr.Rel.Add(i, j)
+				}
+			}
+		}
+	} else {
+		for i, a := range r.Items {
+			row := reach.Row(a.Node)
+			for j, b := range r.Items {
+				if i != j && row.Has(b.Node) {
+					nr.Rel.Add(i, j)
+				}
+			}
+		}
+	}
+	return nr, true
+}

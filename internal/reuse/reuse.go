@@ -48,6 +48,13 @@ type Reuse struct {
 	// Kill maps item index -> killer node id in the graph (register
 	// resources only; -1 means killed at the leaf / live-out).
 	Kill []int
+	// IsReg records whether this is a register-class structure (built by
+	// Reg, with Class the register class) rather than a functional-unit
+	// structure (built by FU). UpdateClosure needs the distinction: FU
+	// orders follow reachability directly, register orders go through kill
+	// selection.
+	IsReg bool
+	Class ir.Class
 
 	byNode map[int]int // producer node -> item index (first item per node)
 }
@@ -112,7 +119,7 @@ func KindFUs(k ir.Kind) func(*dag.Node) bool {
 // Values in g.LiveOut are killed at the leaf and hence never reusable.
 func Reg(g *dag.Graph, c ir.Class) *Reuse {
 	f := g.Func
-	r := &Reuse{Graph: g, byNode: make(map[int]int)}
+	r := &Reuse{Graph: g, IsReg: true, Class: c, byNode: make(map[int]int)}
 
 	// Region-defined values.
 	defItem := make(map[ir.VReg]int)

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -70,6 +71,11 @@ type Config struct {
 	// Logf, when non-nil, receives one line per shed, panic, and
 	// lifecycle event.
 	Logf func(format string, args ...any)
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/. Off by default: the profile endpoints expose
+	// internals (and Profile/Trace burn CPU), so they are opt-in via
+	// the CLIs' -pprof flag rather than always-on.
+	EnablePprof bool
 }
 
 // Server is the HTTP serving layer. Create with New; it is safe for
@@ -157,6 +163,9 @@ func New(cfg Config) *Server {
 		_, b := s.cache.Entries()
 		return float64(b)
 	})
+	r.Func("ursa_candidate_evals_total", "reduction candidates evaluated by the core loop", "counter", func() float64 {
+		return float64(metrics.CandidateEvals())
+	})
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", s.instrument("compile", s.handleCompile))
@@ -164,6 +173,16 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/machines", s.instrument("machines", s.handleMachines))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.reg.Handler())
+	if cfg.EnablePprof {
+		// Explicit handlers, not the net/http/pprof init side effect:
+		// importing the package registers on http.DefaultServeMux, which
+		// this server never serves.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }

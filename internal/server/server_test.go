@@ -444,3 +444,42 @@ func TestCompileUnfitMachine(t *testing.T) {
 		t.Errorf("healthz after compile error: %d", c)
 	}
 }
+
+// TestPprofGated: the profiling endpoints exist only when Config opts in,
+// and compiling bumps the process-wide candidate-evaluation counter on
+// /metrics.
+func TestPprofGated(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	if code, _ := getJSON(t, off.URL+"/debug/pprof/", nil); code != http.StatusNotFound {
+		t.Errorf("pprof disabled: GET /debug/pprof/ = %d, want 404", code)
+	}
+
+	_, on := newTestServer(t, Config{EnablePprof: true})
+	if code, _ := getJSON(t, on.URL+"/debug/pprof/", nil); code != http.StatusOK {
+		t.Errorf("pprof enabled: GET /debug/pprof/ = %d, want 200", code)
+	}
+	if code, _ := getJSON(t, on.URL+"/debug/pprof/symbol", nil); code != http.StatusOK {
+		t.Errorf("pprof enabled: GET /debug/pprof/symbol = %d, want 200", code)
+	}
+
+	// The paper machine is tight enough to force reduction candidates; the
+	// default preset fits Figure 2 untransformed and would evaluate none.
+	req := CompileRequest{Machine: MachineSpec{Preset: "paper2x3"}}
+	if code, raw := postJSON(t, on.URL+"/v1/compile", req, nil); code != http.StatusOK {
+		t.Fatalf("compile: %d: %s", code, raw)
+	}
+	_, raw := getJSON(t, on.URL+"/metrics", nil)
+	var sample string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "ursa_candidate_evals_total") {
+			sample = line
+			break
+		}
+	}
+	if sample == "" {
+		t.Fatalf("/metrics missing an ursa_candidate_evals_total sample:\n%s", raw)
+	}
+	if strings.HasSuffix(sample, " 0") {
+		t.Errorf("candidate evals still zero after a pressured compile: %q", sample)
+	}
+}

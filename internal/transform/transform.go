@@ -12,6 +12,8 @@ package transform
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"ursa/internal/dag"
 	"ursa/internal/ir"
@@ -90,6 +92,71 @@ func (c *Candidate) Apply(g *dag.Graph) error {
 		}
 	}
 	return nil
+}
+
+// SeqOnly reports whether the candidate is a pure sequentialization — it
+// only adds sequence edges, with no spill payload. Only such candidates can
+// be applied tentatively with ApplyUndo and remeasured incrementally.
+func (c *Candidate) SeqOnly() bool { return c.Spill == nil }
+
+// ApplyUndo tentatively applies a sequencing-only candidate: it adds the
+// candidate's edges (skipping ones already present), returning the edges
+// actually added and an undo function that removes exactly those edges,
+// restoring the graph to its prior state. On a would-be cycle the partial
+// application is rolled back before the error returns, so the graph is
+// never left extended. Candidates with a spill payload are rejected — spill
+// insertion creates nodes and rewrites instructions in place, which has no
+// cheap inverse; tentative spills are evaluated on clones instead.
+func (c *Candidate) ApplyUndo(g *dag.Graph) (added [][2]int, undo func(), err error) {
+	if c.Spill != nil {
+		return nil, nil, fmt.Errorf("transform %s: spill candidates cannot be undone", c.Kind)
+	}
+	revert := func() {
+		for _, e := range added {
+			g.RemoveEdge(e[0], e[1])
+		}
+	}
+	for _, e := range c.Edges {
+		if g.HasEdge(e[0], e[1]) {
+			continue
+		}
+		if g.HasPath(e[1], e[0]) {
+			revert()
+			return nil, nil, fmt.Errorf("transform %s: edge %d->%d would create a cycle", c.Kind, e[0], e[1])
+		}
+		g.AddEdge(e[0], e[1], dag.EdgeSeq)
+		added = append(added, e)
+	}
+	return added, revert, nil
+}
+
+// Key returns a canonical identity for the transformation's effect: the
+// kind, the edge set in sorted order, and the spill target. Candidates with
+// equal keys transform the graph identically even when their generators and
+// Notes differ; the driver uses this to measure each distinct effect once
+// per iteration.
+func (c *Candidate) Key() string {
+	edges := make([][2]int, len(c.Edges))
+	copy(edges, c.Edges)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d", c.Kind)
+	for _, e := range edges {
+		fmt.Fprintf(&sb, ";%d>%d", e[0], e[1])
+	}
+	if sp := c.Spill; sp != nil {
+		br := append([]int(nil), sp.Barrier...)
+		pr := append([]int(nil), sp.PreRoots...)
+		sort.Ints(br)
+		sort.Ints(pr)
+		fmt.Fprintf(&sb, ";spill:%d@%d;b%v;p%v", sp.Reg, sp.Def, br, pr)
+	}
+	return sb.String()
 }
 
 func applySpill(g *dag.Graph, sp *SpillSpec) error {

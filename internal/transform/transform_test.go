@@ -296,3 +296,84 @@ func TestSequencingNeverIncreasesWidth(t *testing.T) {
 		}
 	}
 }
+
+// TestApplyUndoRoundTrip: a tentative application adds exactly the missing
+// edges and its undo restores the graph fingerprint — the contract that
+// lets the evaluator reuse one scratch graph across many candidates.
+func TestApplyUndoRoundTrip(t *testing.T) {
+	g := paperGraph(t)
+	b, c := node(t, g, "w"), node(t, g, "x")
+	pre := [2]int{node(t, g, "v"), b} // already present: B depends on A's value
+	if !g.HasEdge(pre[0], pre[1]) {
+		t.Fatalf("expected existing edge %v", pre)
+	}
+	cand := &Candidate{Kind: FUSequence, Edges: [][2]int{pre, {b, c}}, Note: "test"}
+
+	before := g.Fingerprint()
+	added, undo, err := cand.ApplyUndo(g)
+	if err != nil {
+		t.Fatalf("ApplyUndo: %v", err)
+	}
+	if len(added) != 1 || added[0] != [2]int{b, c} {
+		t.Fatalf("added %v, want just %v (existing edge must be skipped)", added, [2]int{b, c})
+	}
+	if !g.HasEdge(b, c) {
+		t.Fatal("edge not applied")
+	}
+	undo()
+	if g.Fingerprint() != before {
+		t.Fatal("undo did not restore the graph")
+	}
+}
+
+// TestApplyUndoRollsBackOnCycle: when a later edge of the candidate would
+// close a cycle, the earlier edges are removed before the error returns.
+func TestApplyUndoRollsBackOnCycle(t *testing.T) {
+	g := paperGraph(t)
+	b, c := node(t, g, "w"), node(t, g, "x")
+	cand := &Candidate{Kind: FUSequence, Edges: [][2]int{{b, c}, {c, b}}, Note: "cycle"}
+	before := g.Fingerprint()
+	if _, _, err := cand.ApplyUndo(g); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	if g.Fingerprint() != before {
+		t.Fatal("failed application left edges behind")
+	}
+}
+
+// TestApplyUndoRejectsSpill: spills mutate instructions and create nodes,
+// so tentative application must refuse them.
+func TestApplyUndoRejectsSpill(t *testing.T) {
+	cand := &Candidate{Kind: Spill, Spill: &SpillSpec{Def: 0}}
+	g := paperGraph(t)
+	if _, _, err := cand.ApplyUndo(g); err == nil {
+		t.Fatal("spill candidate accepted by ApplyUndo")
+	}
+}
+
+// TestCandidateKey: Key identifies a candidate by effect — edge order and
+// Note are ignored; kind, edge set, and spill payload are not.
+func TestCandidateKey(t *testing.T) {
+	a := &Candidate{Kind: FUSequence, Edges: [][2]int{{1, 2}, {3, 4}}, Note: "one"}
+	b := &Candidate{Kind: FUSequence, Edges: [][2]int{{3, 4}, {1, 2}}, Note: "two"}
+	if a.Key() != b.Key() {
+		t.Errorf("edge order changed the key: %q vs %q", a.Key(), b.Key())
+	}
+	c := &Candidate{Kind: RegSequence, Edges: [][2]int{{1, 2}, {3, 4}}}
+	if a.Key() == c.Key() {
+		t.Error("kind not part of the key")
+	}
+	d := &Candidate{Kind: FUSequence, Edges: [][2]int{{1, 2}}}
+	if a.Key() == d.Key() {
+		t.Error("edge set not part of the key")
+	}
+	s1 := &Candidate{Kind: Spill, Spill: &SpillSpec{Reg: 1, Def: 2, Barrier: []int{5, 3}, PreRoots: []int{7}}}
+	s2 := &Candidate{Kind: Spill, Spill: &SpillSpec{Reg: 1, Def: 2, Barrier: []int{3, 5}, PreRoots: []int{7}}}
+	if s1.Key() != s2.Key() {
+		t.Errorf("barrier order changed the key: %q vs %q", s1.Key(), s2.Key())
+	}
+	s3 := &Candidate{Kind: Spill, Spill: &SpillSpec{Reg: 1, Def: 3, Barrier: []int{3, 5}, PreRoots: []int{7}}}
+	if s1.Key() == s3.Key() {
+		t.Error("spill def not part of the key")
+	}
+}
