@@ -6,9 +6,13 @@
 //
 // Usage:
 //
-//	ursac -pipeline ursa -width 4 -regs 8 [-j N] [-kernel] [-unroll N] [-run] [-dot] file
+//	ursac -pipeline ursa -width 4 -regs 8 [-j N] [-kernel] [-unroll N]
+//	      [-cache-dir DIR] [-run] [-dot] file
 //
 // With no file, a built-in demo (the paper's Figure 2 example) compiles.
+// With -cache-dir, compile results persist in a content-addressed store:
+// a rerun with identical inputs replays the emitted listing (stdout is
+// byte-identical) and reports the serving tier on stderr ("# cache: disk").
 package main
 
 import (
@@ -38,6 +42,7 @@ func main() {
 		realistic    = flag.Bool("latency", false, "use realistic multi-cycle latencies")
 		optimize     = flag.Bool("O", false, "run scalar optimizations (fold/copy/CSE/DCE) before compiling")
 		jobs         = flag.Int("j", 0, "compile blocks with N parallel workers (0: all cores, 1: sequential)")
+		cacheDir     = flag.String("cache-dir", "", "persistent compile-result cache directory; warm keys skip the allocator (ignored with -run)")
 		listen       = flag.String("listen", "", "serve the compile API on this address instead of compiling (same mux as ursad)")
 		pprofOn      = flag.Bool("pprof", false, "with -listen: mount net/http/pprof under /debug/pprof/")
 	)
@@ -47,7 +52,14 @@ func main() {
 		// Share ursad's entry path: the same server mux, started from the
 		// compiler binary, so the serving layer is testable wherever ursac
 		// is already deployed.
-		srv := server.New(server.Config{Logf: log.Printf, EnablePprof: *pprofOn})
+		var artifacts *ursa.ResultCache
+		if *cacheDir != "" {
+			var err error
+			if artifacts, err = ursa.OpenResultCache(*cacheDir, 0, 0, ""); err != nil {
+				fatalf("cache: %v", err)
+			}
+		}
+		srv := server.New(server.Config{Logf: log.Printf, EnablePprof: *pprofOn, Artifacts: artifacts})
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		if err := srv.ListenAndServe(ctx, *listen); err != nil {
@@ -99,14 +111,26 @@ func main() {
 	if workers == 0 {
 		workers = -1 // pipeline convention: negative means GOMAXPROCS
 	}
-	fp, stats, err := ursa.CompileFuncOpts(f, m, method, ursa.CompileOptions{Workers: workers})
+	opts := ursa.CompileOptions{Workers: workers}
+	if *cacheDir != "" && !*run {
+		// A cached artifact stores listings, not executable code, so -run
+		// always compiles fresh.
+		rc, err := ursa.OpenResultCache(*cacheDir, 0, 0, "")
+		if err != nil {
+			fatalf("cache: %v", err)
+		}
+		opts.Results = rc
+	}
+	cf, stats, err := ursa.CompileFuncCached(f, m, method, opts)
 	if err != nil {
 		fatalf("compile: %v", err)
 	}
-	fmt.Printf("# %s: %s pipeline on %s\n", f.Name, method, m)
-	for i, b := range f.Blocks {
-		fmt.Printf("%s:\n%s", b.Label, fp.Blocks[i].String())
+	if opts.Results != nil {
+		// On stderr so warm and cold runs stay byte-identical on stdout.
+		fmt.Fprintf(os.Stderr, "# cache: %s\n", cf.ServedBy())
 	}
+	fmt.Printf("# %s: %s pipeline on %s\n", f.Name, method, m)
+	fmt.Print(cf.Listing())
 	fmt.Printf("# words=%d spill-ops=%d regs-used=%d int / %d fp\n",
 		stats.Words, stats.SpillOps, stats.RegsUsed[0], stats.RegsUsed[1])
 	if method == ursa.URSA {
@@ -114,7 +138,7 @@ func main() {
 	}
 
 	if *run {
-		res, err := fp.Run(ursa.NewState(), 10_000_000)
+		res, err := cf.Prog.Run(ursa.NewState(), 10_000_000)
 		if err != nil {
 			fatalf("run: %v", err)
 		}

@@ -6,14 +6,22 @@
 //
 //	ursad [-addr :8347] [-concurrency N] [-queue N] [-timeout 60s]
 //	      [-max-body 4194304] [-drain 30s] [-quiet] [-pprof]
+//	      [-cache-dir DIR] [-cache-mem N] [-cache-disk N] [-peer URL]
 //
 // Endpoints:
 //
-//	POST /v1/compile   compile (and optionally run) one function
-//	POST /v1/batch     fan a set of jobs over the parallel driver
-//	GET  /v1/machines  list the machine presets
-//	GET  /healthz      liveness and drain state
-//	GET  /metrics      Prometheus metrics
+//	POST /v1/compile     compile (and optionally run) one function
+//	POST /v1/batch       fan a set of jobs over the parallel driver
+//	GET  /v1/machines    list the machine presets
+//	GET  /v1/cache/{key} peer cache protocol (GET/PUT framed artifacts)
+//	GET  /healthz        liveness, drain state, cache snapshots
+//	GET  /metrics        Prometheus metrics
+//
+// Any of -cache-dir, -cache-mem, or -peer enables the tiered artifact
+// cache (memory → disk → peer): compile results are replayed from the
+// fastest tier that holds them instead of re-running the allocator, and
+// two daemons pointed at each other via -peer share artifacts across the
+// fleet. See docs/CACHE.md.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, finishes in-flight requests (bounded by -drain), and exits
@@ -30,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"ursa"
 	"ursa/internal/server"
 )
 
@@ -43,6 +52,10 @@ func main() {
 		drain       = flag.Duration("drain", 0, "graceful shutdown budget (0: 30s)")
 		quiet       = flag.Bool("quiet", false, "suppress operational log lines")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		cacheDir    = flag.String("cache-dir", "", "artifact cache directory (persistent disk tier); empty: no disk tier")
+		cacheMem    = flag.Int64("cache-mem", 0, "artifact cache memory-tier byte budget; enables caching even without -cache-dir (0 with -cache-dir: 64MiB)")
+		cacheDisk   = flag.Int64("cache-disk", 0, "artifact cache disk-tier byte budget; older artifacts evict past it (0: 1GiB)")
+		peerURL     = flag.String("peer", "", "peer ursad base URL (e.g. http://ursad-2:8347) consulted on local cache misses")
 	)
 	flag.Parse()
 
@@ -50,12 +63,31 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	var artifacts *ursa.ResultCache
+	if *cacheDir != "" || *cacheMem > 0 || *peerURL != "" {
+		var err error
+		if artifacts, err = ursa.OpenResultCache(*cacheDir, *cacheMem, *cacheDisk, *peerURL); err != nil {
+			fmt.Fprintf(os.Stderr, "ursad: cache: %v\n", err)
+			os.Exit(1)
+		}
+		switch {
+		case *cacheDir != "" && *peerURL != "":
+			logf("ursad: artifact cache on (memory + disk %s + peer %s)", *cacheDir, *peerURL)
+		case *cacheDir != "":
+			logf("ursad: artifact cache on (memory + disk %s)", *cacheDir)
+		case *peerURL != "":
+			logf("ursad: artifact cache on (memory + peer %s)", *peerURL)
+		default:
+			logf("ursad: artifact cache on (memory only)")
+		}
+	}
 	srv := server.New(server.Config{
 		MaxConcurrent:  *concurrency,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		DrainTimeout:   *drain,
+		Artifacts:      artifacts,
 		Logf:           logf,
 		EnablePprof:    *pprofOn,
 	})

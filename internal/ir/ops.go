@@ -90,6 +90,11 @@ const (
 	numOps
 )
 
+// NumOps is the number of defined opcodes — the bound for code that
+// enumerates the instruction set (e.g. canonicalizing a machine's
+// per-opcode latency table into a cache key).
+const NumOps = int(numOps)
+
 // OpInfo describes the static properties of an opcode.
 type OpInfo struct {
 	Name        string

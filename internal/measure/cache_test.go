@@ -4,7 +4,9 @@ import (
 	"math/rand"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ursa/internal/dag"
 	"ursa/internal/ir"
@@ -127,5 +129,136 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	if c.Len() != len(graphs) {
 		t.Fatalf("cache has %d entries, want %d", c.Len(), len(graphs))
+	}
+}
+
+// TestCacheLRUEviction: the byte budget evicts least-recently-used
+// entries one at a time (never the whole map), respects the budget, and
+// keeps recently touched entries resident.
+func TestCacheLRUEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var graphs []*dag.Graph
+	for i := 0; i < 6; i++ {
+		f := workload.RandomBlock(rng, 30+i, 0.3)
+		g, err := dag.Build(f.Blocks[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+
+	// Find the per-entry cost, then budget for roughly three entries.
+	probe := NewCache()
+	probe.Measure(graphs[0], "fu", buildFU)
+	_, per := probe.Entries()
+
+	c := NewCacheBudget(3 * per)
+	for _, g := range graphs {
+		c.Measure(g, "fu", buildFU)
+	}
+	if ev := c.Evictions(); ev == 0 {
+		t.Fatal("no evictions despite exceeding the byte budget")
+	}
+	if n, b := c.Entries(); b > 3*per || n == 0 {
+		t.Fatalf("cache over budget after eviction: %d entries, %d bytes (budget %d)", n, b, 3*per)
+	}
+
+	// The most recently inserted graph must still be resident.
+	h0, _ := c.Stats()
+	c.Measure(graphs[len(graphs)-1], "fu", buildFU)
+	if h1, _ := c.Stats(); h1 != h0+1 {
+		t.Fatal("most recently used entry was evicted")
+	}
+
+	// Touch the oldest surviving entry, insert more, and confirm the
+	// touched entry outlives untouched peers: eviction is recency-based.
+	c2 := NewCacheBudget(3 * per)
+	for _, g := range graphs[:3] {
+		c2.Measure(g, "fu", buildFU)
+	}
+	c2.Measure(graphs[0], "fu", buildFU) // refresh graphs[0]
+	c2.Measure(graphs[3], "fu", buildFU) // forces an eviction (graphs[1])
+	h0, _ = c2.Stats()
+	c2.Measure(graphs[0], "fu", buildFU)
+	if h1, _ := c2.Stats(); h1 != h0+1 {
+		t.Fatal("recently touched entry was evicted before an older one")
+	}
+}
+
+// TestCacheSetBudget: shrinking the budget evicts immediately.
+func TestCacheSetBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := NewCache()
+	for i := 0; i < 4; i++ {
+		f := workload.RandomBlock(rng, 28+i, 0.3)
+		g, err := dag.Build(f.Blocks[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Measure(g, "fu", buildFU)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("have %d entries, want 4", c.Len())
+	}
+	c.SetBudget(1)
+	if n, _ := c.Entries(); n != 1 {
+		t.Fatalf("after SetBudget(1): %d entries, want 1 (the MRU survivor)", n)
+	}
+	if c.Evictions() != 3 {
+		t.Fatalf("evictions = %d, want 3", c.Evictions())
+	}
+}
+
+// TestCacheSingleFlight: concurrent misses on one key run the build
+// exactly once; every caller gets the same shared result.
+func TestCacheSingleFlight(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := workload.RandomBlock(rng, 36, 0.3)
+	g, err := dag.Build(f.Blocks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var builds atomic.Int64
+	release := make(chan struct{})
+	slowBuild := func(g *dag.Graph) *reuse.Reuse {
+		builds.Add(1)
+		<-release // hold every concurrent miss in flight
+		return buildFU(g)
+	}
+
+	c := NewCache()
+	const N = 16
+	results := make([]*Result, N)
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			results[i] = c.Measure(g, "fu", slowBuild)
+		}(i)
+	}
+	started.Wait()
+	// Give the stragglers a beat to reach the cache, then open the gate.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times for one key, want 1", n)
+	}
+	for i := 1; i < N; i++ {
+		if results[i] != results[0] {
+			t.Fatal("coalesced callers got different result pointers")
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache has %d entries, want 1", c.Len())
+	}
+	if c.Coalesced() == 0 {
+		t.Fatal("no coalesced waits recorded")
 	}
 }

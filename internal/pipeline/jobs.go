@@ -34,11 +34,14 @@ type Job struct {
 }
 
 // A JobResult carries one job's outputs. Prog is set for compile-only
-// jobs; Stats is always set on success.
+// jobs unless the result was served from the artifact cache; Cached is
+// set (with listings and the serving tier) whenever the job ran through
+// the compile-result cache; Stats is always set on success.
 type JobResult struct {
-	Prog  *FuncProgram
-	Stats *Stats
-	Err   error
+	Prog   *FuncProgram
+	Cached *CachedFunc
+	Stats  *Stats
+	Err    error
 }
 
 // RunJobs runs a batch of jobs across `workers` goroutines (0 or negative
@@ -82,7 +85,16 @@ func runJobs(ctx context.Context, jobs []Job, workers int, keepGoing bool) ([]Jo
 		}
 		var err error
 		if j.Init == nil {
-			out[i].Prog, out[i].Stats, err = CompileFunc(j.Func, j.Machine, j.Method, opts)
+			if opts.Results != nil {
+				var cf *CachedFunc
+				cf, out[i].Stats, err = CompileFuncCached(j.Func, j.Machine, j.Method, opts)
+				if cf != nil {
+					out[i].Cached = cf
+					out[i].Prog = cf.Prog
+				}
+			} else {
+				out[i].Prog, out[i].Stats, err = CompileFunc(j.Func, j.Machine, j.Method, opts)
+			}
 		} else {
 			max := j.MaxCycles
 			if max == 0 {

@@ -27,6 +27,7 @@ import (
 	"ursa/internal/opt"
 	"ursa/internal/regalloc"
 	"ursa/internal/sched"
+	"ursa/internal/store"
 	"ursa/internal/vliwsim"
 )
 
@@ -77,6 +78,11 @@ type Options struct {
 	// returns Ctx.Err(). Cancellation is cooperative — a block already
 	// compiling runs to completion.
 	Ctx context.Context
+	// Results, when non-nil, is the tiered compile-result cache consulted
+	// by CompileFuncCached: whole-function listings and statistics keyed
+	// by CacheKey survive process restarts (disk tier) and are shared
+	// across a fleet (peer tier). Plain Compile/CompileFunc ignore it.
+	Results *store.TieredCache
 }
 
 // Stats reports one compilation (and, after Evaluate, its execution).

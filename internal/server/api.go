@@ -8,6 +8,7 @@ import (
 	"ursa/internal/ir"
 	"ursa/internal/machine"
 	"ursa/internal/pipeline"
+	"ursa/internal/store"
 	"ursa/internal/workload"
 )
 
@@ -235,13 +236,18 @@ func memCells(st *ir.State) []MemCell {
 	return cells
 }
 
-// CacheDelta is the shared measurement cache's activity attributed to one
-// request: hits and misses observed between request start and finish.
-// Under concurrent requests the attribution is approximate (the counters
-// are process-wide), but the sum across requests is exact.
+// CacheDelta is the cache activity attributed to one request: the shared
+// measurement cache's hits and misses observed between request start and
+// finish, plus — when the artifact cache is enabled — which tier served
+// the compile result ("memory", "disk", "peer", "coalesced", or
+// "compiled" when every tier missed) and a per-tier totals snapshot.
+// Under concurrent requests the measurement attribution is approximate
+// (the counters are process-wide), but the sum across requests is exact.
 type CacheDelta struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
+	Hits      uint64           `json:"hits"`
+	Misses    uint64           `json:"misses"`
+	Result    string           `json:"result,omitempty"`
+	Artifacts *store.TierStats `json:"artifacts,omitempty"`
 }
 
 // CompileResponse is POST /v1/compile's body.
@@ -295,10 +301,25 @@ type MachineJSON struct {
 	Summary     string `json:"summary"`
 }
 
-// HealthJSON is GET /healthz's body.
+// MeasureCacheJSON snapshots the process-wide measurement cache for
+// /healthz, so an operator can see warm/cold state without scraping
+// /metrics.
+type MeasureCacheJSON struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// HealthJSON is GET /healthz's body. ArtifactCache is present only when
+// the artifact cache is enabled.
 type HealthJSON struct {
-	Status   string `json:"status"`
-	Draining bool   `json:"draining"`
-	InFlight int64  `json:"in_flight"`
-	Queued   int64  `json:"queued"`
+	Status        string            `json:"status"`
+	Draining      bool              `json:"draining"`
+	InFlight      int64             `json:"in_flight"`
+	Queued        int64             `json:"queued"`
+	MeasureCache  *MeasureCacheJSON `json:"measure_cache,omitempty"`
+	ArtifactCache *store.TierStats  `json:"artifact_cache,omitempty"`
 }

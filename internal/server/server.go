@@ -42,6 +42,7 @@ import (
 	"ursa/internal/measure"
 	"ursa/internal/metrics"
 	"ursa/internal/pipeline"
+	"ursa/internal/store"
 	"ursa/internal/workload"
 )
 
@@ -65,6 +66,10 @@ type Config struct {
 	// Cache is the measurement cache shared by every request. Nil means a
 	// fresh process-wide cache.
 	Cache *measure.Cache
+	// Artifacts is the tiered compile-result cache (memory → disk → peer).
+	// Nil disables artifact caching: every compile runs the allocator and
+	// /v1/cache answers 404.
+	Artifacts *store.TieredCache
 	// Registry receives the server's metrics. Nil means a fresh registry
 	// (exposed on GET /metrics either way).
 	Registry *metrics.Registry
@@ -81,10 +86,11 @@ type Config struct {
 // Server is the HTTP serving layer. Create with New; it is safe for
 // concurrent use by any number of connections.
 type Server struct {
-	cfg   Config
-	cache *measure.Cache
-	reg   *metrics.Registry
-	mux   *http.ServeMux
+	cfg       Config
+	cache     *measure.Cache
+	artifacts *store.TieredCache
+	reg       *metrics.Registry
+	mux       *http.ServeMux
 
 	slots    chan struct{} // admission semaphore: one token per running compile
 	queued   atomic.Int64
@@ -100,6 +106,7 @@ type Server struct {
 	mInflight   *metrics.Gauge
 	mCompileOK  *metrics.CounterVec
 	mCompileErr *metrics.CounterVec
+	mServedBy   *metrics.CounterVec
 
 	// testHook, when non-nil, runs inside every compile request while it
 	// holds an admission slot — the package tests' lever for saturating
@@ -131,10 +138,11 @@ func New(cfg Config) *Server {
 		cfg.Registry = metrics.NewRegistry()
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: cfg.Cache,
-		reg:   cfg.Registry,
-		slots: make(chan struct{}, cfg.MaxConcurrent),
+		cfg:       cfg,
+		cache:     cfg.Cache,
+		artifacts: cfg.Artifacts,
+		reg:       cfg.Registry,
+		slots:     make(chan struct{}, cfg.MaxConcurrent),
 	}
 
 	r := s.reg
@@ -147,6 +155,7 @@ func New(cfg Config) *Server {
 	s.mInflight = r.Gauge("ursad_inflight", "requests currently being served")
 	s.mCompileOK = r.CounterVec("ursad_compile_total", "successful compiles by pipeline method", "method")
 	s.mCompileErr = r.CounterVec("ursad_compile_errors_total", "failed compiles by pipeline method", "method")
+	s.mServedBy = r.CounterVec("ursad_artifact_served_total", "compile responses by serving cache tier (or \"compiled\")", "tier")
 	r.Func("ursad_cache_hits_total", "measurement cache hits", "counter", func() float64 {
 		h, _ := s.cache.Stats()
 		return float64(h)
@@ -166,11 +175,13 @@ func New(cfg Config) *Server {
 	r.Func("ursa_candidate_evals_total", "reduction candidates evaluated by the core loop", "counter", func() float64 {
 		return float64(metrics.CandidateEvals())
 	})
+	s.registerCacheMetrics()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", s.instrument("compile", s.handleCompile))
 	mux.HandleFunc("/v1/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("/v1/machines", s.instrument("machines", s.handleMachines))
+	mux.HandleFunc("/v1/cache/", s.instrument("cache", s.handleCache))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.reg.Handler())
 	if cfg.EnablePprof {
@@ -363,10 +374,12 @@ func errorStatus(err error) int {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := HealthJSON{
-		Status:   "ok",
-		Draining: s.draining.Load(),
-		InFlight: s.inflight.Load(),
-		Queued:   s.queued.Load(),
+		Status:        "ok",
+		Draining:      s.draining.Load(),
+		InFlight:      s.inflight.Load(),
+		Queued:        s.queued.Load(),
+		MeasureCache:  s.measureCacheJSON(),
+		ArtifactCache: s.artifactStats(),
 	}
 	code := http.StatusOK
 	if h.Draining {
@@ -470,7 +483,12 @@ func (s *Server) compileOne(ctx context.Context, cr *CompileRequest) (*CompileRe
 
 	opts := pipeline.Options{Optimize: cr.Optimize, Workers: cr.Workers, Ctx: ctx}
 	opts.Core.Cache = s.cache
-	fp, st, err := pipeline.CompileFunc(f, m, method, opts)
+	if !cr.Run {
+		// Execution needs the in-memory program; cached artifacts hold
+		// listings only, so run requests always compile.
+		opts.Results = s.artifacts
+	}
+	cf, st, err := pipeline.CompileFuncCached(f, m, method, opts)
 	if err != nil {
 		s.mCompileErr.With(method.String()).Inc()
 		return nil, fmt.Errorf("compile: %w", err)
@@ -480,11 +498,11 @@ func (s *Server) compileOne(ctx context.Context, cr *CompileRequest) (*CompileRe
 		Name:    cr.Name,
 		Method:  method.String(),
 		Machine: m.Name,
-		Blocks:  listings(f, fp),
+		Blocks:  artifactListings(cf.Artifact),
 	}
 
 	if cr.Run {
-		run, verified, err := s.execute(cr, f, fp, isPaper)
+		run, verified, err := s.execute(cr, f, cf.Prog, isPaper)
 		if err != nil {
 			s.mCompileErr.With(method.String()).Inc()
 			return nil, err
@@ -501,6 +519,11 @@ func (s *Server) compileOne(ctx context.Context, cr *CompileRequest) (*CompileRe
 
 	hits1, misses1 := s.cache.Stats()
 	resp.Cache = CacheDelta{Hits: hits1 - hits0, Misses: misses1 - misses0}
+	if s.artifacts != nil {
+		resp.Cache.Result = tierLabel(cf.Tier)
+		resp.Cache.Artifacts = s.artifactStats()
+	}
+	s.mServedBy.With(tierLabel(cf.Tier)).Inc()
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	s.mCompileOK.With(method.String()).Inc()
 	return resp, nil
@@ -514,6 +537,31 @@ func listings(f *ir.Func, fp *pipeline.FuncProgram) []BlockListing {
 		out[i] = BlockListing{Label: f.Blocks[i].Label, Listing: prog.String()}
 	}
 	return out
+}
+
+// artifactListings renders the compiled blocks byte-identically to an
+// in-process assign.Program.String() — artifacts store exactly that, so
+// cold, disk-warm, and peer-served responses carry identical bytes.
+func artifactListings(a *store.Artifact) []BlockListing {
+	out := make([]BlockListing, len(a.Blocks))
+	for i, b := range a.Blocks {
+		out[i] = BlockListing{Label: b.Label, Listing: b.Listing}
+	}
+	return out
+}
+
+// measureCacheJSON snapshots the measurement cache for /healthz.
+func (s *Server) measureCacheJSON() *MeasureCacheJSON {
+	hits, misses := s.cache.Stats()
+	entries, bytes := s.cache.Entries()
+	return &MeasureCacheJSON{
+		Entries:   entries,
+		Bytes:     bytes,
+		Hits:      hits,
+		Misses:    misses,
+		Evictions: s.cache.Evictions(),
+		Coalesced: s.cache.Coalesced(),
+	}
 }
 
 // execute runs the compiled function on the simulator and verifies its
@@ -656,6 +704,9 @@ func (s *Server) runBatch(ctx context.Context, br *BatchRequest) (*BatchResponse
 		}
 		opts := pipeline.Options{Optimize: cr.Optimize, Workers: cr.Workers}
 		opts.Core.Cache = s.cache
+		if !cr.Run {
+			opts.Results = s.artifacts
+		}
 		job := pipeline.Job{
 			Name:    cr.Name,
 			Func:    f,
@@ -695,7 +746,14 @@ func (s *Server) runBatch(ctx context.Context, br *BatchRequest) (*BatchResponse
 			Machine: jobs[j].Machine.Name,
 			Stats:   statsJSON(out.Stats),
 		}
-		if out.Prog != nil {
+		switch {
+		case out.Cached != nil:
+			resp.Blocks = artifactListings(out.Cached.Artifact)
+			if s.artifacts != nil {
+				resp.Cache.Result = tierLabel(out.Cached.Tier)
+			}
+			s.mServedBy.With(tierLabel(out.Cached.Tier)).Inc()
+		case out.Prog != nil:
 			resp.Blocks = listings(preps[j].f, out.Prog)
 		}
 		results[i] = BatchResult{CompileResponse: resp}

@@ -1,0 +1,45 @@
+package store
+
+import "sync"
+
+// group coalesces concurrent work for equal keys: the first caller of do
+// for a key becomes the leader and runs fn; callers arriving while the
+// leader is in flight wait and share the leader's result. It is the
+// store's single-flight primitive, shared by the disk store and the
+// tiered cache.
+type group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// do runs fn for key unless a call for key is already in flight, in which
+// case it waits for that call's result. The third return reports whether
+// this caller was the leader (i.e. fn actually ran here).
+func (g *group) do(key string, fn func() ([]byte, error)) (data []byte, err error, leader bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.data, c.err, false
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.data, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.data, c.err, true
+}

@@ -1,0 +1,324 @@
+package store
+
+import "sync"
+
+// Tier identifies which cache layer served (or failed to serve) a lookup.
+type Tier uint8
+
+// Tiers, fastest first. TierNone means the result was computed locally;
+// TierFlight means the caller coalesced onto a concurrent identical
+// computation and shared its result.
+const (
+	TierNone Tier = iota
+	TierMem
+	TierDisk
+	TierPeer
+	TierFlight
+)
+
+// String returns the tier name as it appears in responses and metrics.
+func (t Tier) String() string {
+	switch t {
+	case TierMem:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	case TierPeer:
+		return "peer"
+	case TierFlight:
+		return "coalesced"
+	}
+	return "none"
+}
+
+// DefaultMemBudget bounds the memory tier when NewTiered is given none.
+const DefaultMemBudget = 64 << 20 // 64 MiB
+
+// MemStats is a snapshot of the memory tier.
+type MemStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// TierStats snapshots every tier of a TieredCache. Disk and Peer are nil
+// when the corresponding tier is not configured.
+type TierStats struct {
+	Mem       MemStats    `json:"memory"`
+	Disk      *StoreStats `json:"disk,omitempty"`
+	Peer      *PeerStats  `json:"peer,omitempty"`
+	Computes  uint64      `json:"computes"`
+	Coalesced uint64      `json:"coalesced"`
+}
+
+// TieredCache chains the cache tiers: an in-process byte-budget LRU, an
+// optional disk Store, an optional PeerClient. Lookups try tiers fastest
+// first and refill the faster tiers on a slower hit, so a fleet warms
+// front to back; stores write through every configured tier. All methods
+// are safe for concurrent use, and every tier failure degrades to a miss.
+type TieredCache struct {
+	mem  *memCache
+	disk *Store
+	peer *PeerClient
+
+	mu        sync.Mutex
+	computes  uint64
+	coalesced uint64
+
+	flight group
+}
+
+// NewTiered assembles a cache from its tiers. memBudget <= 0 means
+// DefaultMemBudget; disk and peer may be nil.
+func NewTiered(memBudget int64, disk *Store, peer *PeerClient) *TieredCache {
+	if memBudget <= 0 {
+		memBudget = DefaultMemBudget
+	}
+	return &TieredCache{mem: newMemCache(memBudget), disk: disk, peer: peer}
+}
+
+// Disk returns the disk tier, or nil.
+func (t *TieredCache) Disk() *Store { return t.disk }
+
+// Get looks the key up tier by tier, reporting which tier answered. A
+// disk hit refills memory; a peer hit refills disk and memory.
+func (t *TieredCache) Get(key string) ([]byte, Tier, bool) {
+	if t == nil {
+		return nil, TierNone, false
+	}
+	if data, ok := t.mem.get(key); ok {
+		return data, TierMem, true
+	}
+	if data, ok := t.disk.Get(key); ok {
+		t.mem.put(key, data)
+		return data, TierDisk, true
+	}
+	if data, ok := t.peer.Get(key); ok {
+		_ = t.disk.Put(key, data)
+		t.mem.put(key, data)
+		return data, TierPeer, true
+	}
+	return nil, TierNone, false
+}
+
+// LocalGet is Get without the peer tier — what the /v1/cache handler
+// serves, so peers never chain lookups through each other.
+func (t *TieredCache) LocalGet(key string) ([]byte, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if data, ok := t.mem.get(key); ok {
+		return data, true
+	}
+	if data, ok := t.disk.Get(key); ok {
+		t.mem.put(key, data)
+		return data, true
+	}
+	return nil, false
+}
+
+// Put writes the artifact through every configured tier. Disk write
+// errors are absorbed (the store counts them); the peer push is
+// best-effort with the client's short timeout.
+func (t *TieredCache) Put(key string, data []byte) {
+	if t == nil {
+		return
+	}
+	t.mem.put(key, data)
+	_ = t.disk.Put(key, data)
+	t.peer.Put(key, data)
+}
+
+// LocalPut writes the artifact to the memory and disk tiers only — what
+// the /v1/cache handler stores on a peer's push, avoiding push loops.
+func (t *TieredCache) LocalPut(key string, data []byte) {
+	if t == nil {
+		return
+	}
+	t.mem.put(key, data)
+	_ = t.disk.Put(key, data)
+}
+
+// GetOrCompute returns the artifact under key, trying every tier before
+// computing. Concurrent misses on one key coalesce: one caller computes,
+// stores through the tiers, and the rest share the result (reported as
+// TierFlight). A compute error reaches every coalesced caller and is
+// never cached.
+func (t *TieredCache) GetOrCompute(key string, compute func() ([]byte, error)) ([]byte, Tier, error) {
+	if t == nil {
+		data, err := compute()
+		return data, TierNone, err
+	}
+	if data, tier, ok := t.Get(key); ok {
+		return data, tier, nil
+	}
+	var servedBy Tier = TierNone
+	data, err, leader := t.flight.do(key, func() ([]byte, error) {
+		// Re-check the fast tier: a previous leader may have landed the
+		// artifact between our miss and acquiring the flight slot.
+		if data, ok := t.mem.get(key); ok {
+			servedBy = TierMem
+			return data, nil
+		}
+		data, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		t.Put(key, data)
+		return data, nil
+	})
+	if err != nil {
+		return nil, TierNone, err
+	}
+	switch {
+	case !leader:
+		servedBy = TierFlight
+		t.mu.Lock()
+		t.coalesced++
+		t.mu.Unlock()
+	case servedBy == TierNone:
+		t.mu.Lock()
+		t.computes++
+		t.mu.Unlock()
+	}
+	return data, servedBy, nil
+}
+
+// Stats snapshots every tier.
+func (t *TieredCache) Stats() TierStats {
+	if t == nil {
+		return TierStats{}
+	}
+	st := TierStats{Mem: t.mem.stats()}
+	if t.disk != nil {
+		ds := t.disk.Stats()
+		st.Disk = &ds
+	}
+	if t.peer != nil {
+		ps := t.peer.Stats()
+		st.Peer = &ps
+	}
+	t.mu.Lock()
+	st.Computes = t.computes
+	st.Coalesced = t.coalesced
+	t.mu.Unlock()
+	return st
+}
+
+// ------------------------------------------------------------ memory tier
+
+// memCache is the in-process tier: a byte-budget LRU over immutable
+// artifact payloads. Callers must not mutate returned slices.
+type memCache struct {
+	budget int64
+
+	mu         sync.Mutex
+	entries    map[string]*memEntry
+	head, tail *memEntry
+	bytes      int64
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+}
+
+type memEntry struct {
+	key        string
+	data       []byte
+	prev, next *memEntry
+}
+
+func newMemCache(budget int64) *memCache {
+	return &memCache{budget: budget, entries: make(map[string]*memEntry)}
+}
+
+func (m *memCache) get(key string) ([]byte, bool) {
+	if m == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	m.hits++
+	m.moveFront(e)
+	return e.data, true
+}
+
+func (m *memCache) put(key string, data []byte) {
+	if m == nil || int64(len(data)) > m.budget {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[key]; ok {
+		m.bytes += int64(len(data) - len(e.data))
+		e.data = data
+		m.moveFront(e)
+	} else {
+		e := &memEntry{key: key, data: data}
+		m.entries[key] = e
+		m.pushFront(e)
+		m.bytes += int64(len(data))
+	}
+	for m.bytes > m.budget && m.tail != nil {
+		ev := m.tail
+		m.unlink(ev)
+		delete(m.entries, ev.key)
+		m.bytes -= int64(len(ev.data))
+		m.evictions++
+	}
+}
+
+func (m *memCache) pushFront(e *memEntry) {
+	e.prev = nil
+	e.next = m.head
+	if m.head != nil {
+		m.head.prev = e
+	}
+	m.head = e
+	if m.tail == nil {
+		m.tail = e
+	}
+}
+
+func (m *memCache) unlink(e *memEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		m.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		m.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (m *memCache) moveFront(e *memEntry) {
+	if m.head == e {
+		return
+	}
+	m.unlink(e)
+	m.pushFront(e)
+}
+
+func (m *memCache) stats() MemStats {
+	if m == nil {
+		return MemStats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemStats{
+		Hits:      m.hits,
+		Misses:    m.misses,
+		Evictions: m.evictions,
+		Entries:   len(m.entries),
+		Bytes:     m.bytes,
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"ursa/internal/pipeline"
 	"ursa/internal/reuse"
 	"ursa/internal/sched"
+	"ursa/internal/store"
 	"ursa/internal/vliwsim"
 	"ursa/internal/workload"
 )
@@ -90,6 +91,13 @@ type (
 	Job = pipeline.Job
 	// JobResult carries one job's outputs.
 	JobResult = pipeline.JobResult
+	// ResultCache is the tiered compile-result cache (memory → disk →
+	// peer) consulted by CompileFuncCached via CompileOptions.Results.
+	ResultCache = store.TieredCache
+	// CachedFunc is a compile that went through the result cache: the
+	// serving tier, the (possibly cache-served) listings, and — when this
+	// process compiled — the in-memory program.
+	CachedFunc = pipeline.CachedFunc
 )
 
 // Compilation pipelines.
@@ -226,6 +234,39 @@ func CompileFunc(f *Func, m *Machine, method Method) (*FuncProgram, *Stats, erro
 // program is identical at every worker count.
 func CompileFuncOpts(f *Func, m *Machine, method Method, opts CompileOptions) (*FuncProgram, *Stats, error) {
 	return pipeline.CompileFunc(f, m, method, opts)
+}
+
+// OpenResultCache assembles a tiered compile-result cache. dir, when
+// non-empty, adds a persistent content-addressed disk tier under that
+// directory (diskBudget <= 0 means 1 GiB); peerURL, when non-empty, adds
+// a remote ursad peer tier ("http://host:8347"). memBudget <= 0 means
+// 64 MiB. Set the result on CompileOptions.Results and compile with
+// CompileFuncCached; see docs/CACHE.md.
+func OpenResultCache(dir string, memBudget, diskBudget int64, peerURL string) (*ResultCache, error) {
+	var disk *store.Store
+	if dir != "" {
+		var err error
+		if disk, err = store.Open(dir, diskBudget); err != nil {
+			return nil, err
+		}
+	}
+	var peer *store.PeerClient
+	if peerURL != "" {
+		var err error
+		if peer, err = store.NewPeer(peerURL, 0); err != nil {
+			return nil, err
+		}
+	}
+	return store.NewTiered(memBudget, disk, peer), nil
+}
+
+// CompileFuncCached is CompileFuncOpts behind the tiered result cache in
+// opts.Results: a warm key returns the previously emitted listings and
+// statistics (byte-identical to the cold compile) without running the
+// allocator. The returned CachedFunc names the serving tier; its Prog
+// field is non-nil only when this process actually compiled.
+func CompileFuncCached(f *Func, m *Machine, method Method, opts CompileOptions) (*CachedFunc, *Stats, error) {
+	return pipeline.CompileFuncCached(f, m, method, opts)
 }
 
 // RunJobs compiles (and, for jobs with an Init state, executes and
