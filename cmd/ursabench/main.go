@@ -13,6 +13,10 @@
 //	ursabench -benchjson BENCH_core.json
 //	                                 # run the reduction-loop benchmarks
 //	                                 # instead and write timings as JSON
+//	ursabench -benchjson /tmp/now.json -baseline BENCH_core.json
+//	                                 # ...then gate against the committed
+//	                                 # baseline: exit 1 on any >15% ns/op
+//	                                 # regression (-maxregress to adjust)
 //
 // Tables go to stdout and are byte-identical at every -j setting; timing
 // lines go to stderr.
@@ -23,6 +27,14 @@
 // object per benchmark — the repo's perf trajectory. The committed baseline
 // lives at BENCH_core.json; regenerate it on perf-relevant changes and let
 // the diff tell the story.
+//
+// -baseline (with -benchjson) compares the fresh run against a committed
+// baseline after writing it: every pairing is printed to stderr, and the
+// process exits 1 if any benchmark's ns/op regressed by more than
+// -maxregress percent (default 15) or a baseline benchmark is missing
+// from the run. CI's bench-regression job is exactly this invocation; an
+// intentional slowdown lands by regenerating BENCH_core.json in the same
+// change (see docs/PERF.md).
 package main
 
 import (
@@ -39,6 +51,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jobs := flag.Int("j", 0, "workers per experiment (0: all cores, 1: sequential)")
 	benchJSON := flag.String("benchjson", "", "run the reduction-loop benchmarks and write JSON timings to this path")
+	baseline := flag.String("baseline", "", "with -benchjson: gate the run against this committed baseline (exit 1 on regression)")
+	maxRegress := flag.Float64("maxregress", 15, "with -baseline: max tolerated ns/op regression, percent")
 	flag.Parse()
 	experiments.SetParallelism(*jobs)
 
@@ -51,7 +65,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ursabench: %v\n", err)
 			os.Exit(1)
 		}
+		if *baseline != "" {
+			base, err := bench.ReadJSON(*baseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ursabench: %v\n", err)
+				os.Exit(1)
+			}
+			deltas, regressions, missing := bench.Compare(base, entries, *maxRegress)
+			fmt.Fprintf(os.Stderr, "vs %s (gate: +%.0f%%):\n", *baseline, *maxRegress)
+			for _, d := range deltas {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			for _, name := range missing {
+				fmt.Fprintf(os.Stderr, "ursabench: baseline benchmark %q missing from this run\n", name)
+			}
+			if len(regressions) > 0 || len(missing) > 0 {
+				for _, d := range regressions {
+					fmt.Fprintf(os.Stderr, "ursabench: REGRESSION %s\n", d)
+				}
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "ursabench: no regressions")
+		}
 		return
+	}
+	if *baseline != "" {
+		fmt.Fprintln(os.Stderr, "ursabench: -baseline requires -benchjson")
+		os.Exit(1)
 	}
 
 	if *list {

@@ -6,7 +6,8 @@
 //
 //	ursad [-addr :8347] [-concurrency N] [-queue N] [-timeout 60s]
 //	      [-max-body 4194304] [-drain 30s] [-quiet] [-pprof]
-//	      [-cache-dir DIR] [-cache-mem N] [-cache-disk N] [-peer URL]
+//	      [-cache-dir DIR] [-cache-mem N] [-cache-disk N]
+//	      [-peer URL] [-peer-timeout 2s]
 //
 // Endpoints:
 //
@@ -56,6 +57,7 @@ func main() {
 		cacheMem    = flag.Int64("cache-mem", 0, "artifact cache memory-tier byte budget; enables caching even without -cache-dir (0 with -cache-dir: 64MiB)")
 		cacheDisk   = flag.Int64("cache-disk", 0, "artifact cache disk-tier byte budget; older artifacts evict past it (0: 1GiB)")
 		peerURL     = flag.String("peer", "", "peer ursad base URL (e.g. http://ursad-2:8347) consulted on local cache misses")
+		peerTimeout = flag.Duration("peer-timeout", 0, "peer cache round-trip deadline (0: 2s); past it the daemon compiles locally")
 	)
 	flag.Parse()
 
@@ -66,7 +68,14 @@ func main() {
 	var artifacts *ursa.ResultCache
 	if *cacheDir != "" || *cacheMem > 0 || *peerURL != "" {
 		var err error
-		if artifacts, err = ursa.OpenResultCache(*cacheDir, *cacheMem, *cacheDisk, *peerURL); err != nil {
+		artifacts, err = ursa.OpenResultCacheConfig(ursa.CacheConfig{
+			Dir:         *cacheDir,
+			MemBudget:   *cacheMem,
+			DiskBudget:  *cacheDisk,
+			PeerURL:     *peerURL,
+			PeerTimeout: *peerTimeout,
+		})
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ursad: cache: %v\n", err)
 			os.Exit(1)
 		}

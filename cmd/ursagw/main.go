@@ -1,0 +1,106 @@
+// Command ursagw is the URSA cluster gateway: a router that
+// consistent-hashes every compile's canonical cache key
+// (pipeline.CacheKey) across a fleet of ursad shards, so each key is
+// compiled by exactly one shard and every repeat — from any client — is
+// that shard's cache hit.
+//
+// Usage:
+//
+//	ursagw -backends http://h1:8347,http://h2:8347 [-addr :8340]
+//	       [-vnodes 128] [-probe 1s] [-eject-after 2] [-spill-depth 8]
+//	       [-hedge 150ms] [-timeout 120s] [-peer-timeout 2s] [-quiet]
+//
+// The gateway serves the same client-facing endpoints as ursad —
+// POST /v1/compile, POST /v1/batch, GET /v1/machines,
+// GET/PUT /v1/cache/{key} — plus its own /healthz and /metrics. Shards
+// are health-checked (ejected from the ring on failure, readmitted with
+// backoff), an overloaded owner spills keys to its ring successor, slow
+// owners are hedged against the fleet's peer cache tier, and concurrent
+// identical requests coalesce into one upstream compile. 429/Retry-After
+// backpressure from a shard is forwarded to the client untouched.
+//
+// See docs/CLUSTER.md for topology, policy, and the metrics table.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ursa/internal/cluster"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8340", "listen address")
+		backends    = flag.String("backends", "", "comma-separated ursad shard base URLs (required)")
+		vnodes      = flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0: 128)")
+		probe       = flag.Duration("probe", 0, "health probe interval (0: 1s)")
+		ejectAfter  = flag.Int("eject-after", 0, "consecutive probe failures before a shard leaves the ring (0: 2)")
+		spillDepth  = flag.Int64("spill-depth", 0, "owner admission-queue depth that spills keys to the next shard (0: 8, negative: off)")
+		hedge       = flag.Duration("hedge", 0, "delay before hedging a slow compile against the peer cache tier (0: 150ms, negative: off)")
+		timeout     = flag.Duration("timeout", 0, "forwarded request deadline (0: 120s)")
+		peerTimeout = flag.Duration("peer-timeout", 0, "hedged cache fetch deadline (0: 2s)")
+		quiet       = flag.Bool("quiet", false, "suppress operational log lines")
+	)
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	var shards []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			shards = append(shards, b)
+		}
+	}
+	router, err := cluster.New(cluster.Config{
+		Backends:       shards,
+		VNodes:         *vnodes,
+		ProbeInterval:  *probe,
+		EjectAfter:     *ejectAfter,
+		SpillDepth:     *spillDepth,
+		HedgeDelay:     *hedge,
+		RequestTimeout: *timeout,
+		PeerTimeout:    *peerTimeout,
+		Logf:           logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ursagw: %v\n", err)
+		os.Exit(1)
+	}
+	defer router.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logf("ursagw: routing %d shards on %s", len(shards), *addr)
+	start := time.Now()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "ursagw: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "ursagw: drain: %v\n", err)
+		os.Exit(1)
+	}
+	logf("ursagw: clean exit after %s", time.Since(start).Round(time.Millisecond))
+}

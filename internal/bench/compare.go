@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReadJSON loads entries previously written by WriteJSON — the committed
+// BENCH_core.json baseline, or a fresh run being gated against it.
+func ReadJSON(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// A Delta is one benchmark's movement between a baseline and a current
+// run. Pct is the ns/op change relative to the baseline: positive means
+// slower.
+type Delta struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	Pct        float64
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%-32s %12.0f -> %12.0f ns/op  %+6.1f%%",
+		d.Name, d.BaselineNs, d.CurrentNs, d.Pct)
+}
+
+// Compare matches current entries against the baseline by name and
+// returns every pairing plus the subset whose ns/op regressed by more
+// than maxRegressPct (e.g. 15 for a 15% gate). Benchmarks present only
+// in the current run are new and carry no verdict; benchmarks present
+// only in the baseline are reported as missing so a silently dropped
+// workload cannot pass the gate.
+func Compare(baseline, current []Entry, maxRegressPct float64) (deltas, regressions []Delta, missing []string) {
+	cur := make(map[string]Entry, len(current))
+	for _, e := range current {
+		cur[e.Name] = e
+	}
+	for _, b := range baseline {
+		c, ok := cur[b.Name]
+		if !ok {
+			missing = append(missing, b.Name)
+			continue
+		}
+		d := Delta{Name: b.Name, BaselineNs: b.NsPerOp, CurrentNs: c.NsPerOp}
+		if b.NsPerOp > 0 {
+			d.Pct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		deltas = append(deltas, d)
+		if d.Pct > maxRegressPct {
+			regressions = append(regressions, d)
+		}
+	}
+	return deltas, regressions, missing
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestCompare(t *testing.T) {
+	baseline := []Entry{
+		{Name: "PickBest/full", NsPerOp: 1000},
+		{Name: "ReduceLarge/full", NsPerOp: 2000},
+		{Name: "Dropped/one", NsPerOp: 10},
+	}
+	current := []Entry{
+		{Name: "PickBest/full", NsPerOp: 1100},    // +10%: inside a 15% gate
+		{Name: "ReduceLarge/full", NsPerOp: 2400}, // +20%: regression
+		{Name: "Brand/new", NsPerOp: 5},           // no baseline: no verdict
+	}
+	deltas, regs, missing := Compare(baseline, current, 15)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %v, want 2 pairings", deltas)
+	}
+	if len(regs) != 1 || regs[0].Name != "ReduceLarge/full" {
+		t.Fatalf("regressions = %v, want only ReduceLarge/full", regs)
+	}
+	if regs[0].Pct < 19.9 || regs[0].Pct > 20.1 {
+		t.Errorf("regression pct = %v, want ~20", regs[0].Pct)
+	}
+	if len(missing) != 1 || missing[0] != "Dropped/one" {
+		t.Errorf("missing = %v, want [Dropped/one]", missing)
+	}
+
+	// An improvement is a negative delta, never a regression.
+	_, regs, _ = Compare(
+		[]Entry{{Name: "a", NsPerOp: 1000}},
+		[]Entry{{Name: "a", NsPerOp: 500}}, 15)
+	if len(regs) != 0 {
+		t.Errorf("improvement flagged as regression: %v", regs)
+	}
+
+	// Exactly at the threshold passes; the gate is strictly greater-than.
+	_, regs, _ = Compare(
+		[]Entry{{Name: "a", NsPerOp: 1000}},
+		[]Entry{{Name: "a", NsPerOp: 1150}}, 15)
+	if len(regs) != 0 {
+		t.Errorf("threshold-exact delta flagged: %v", regs)
+	}
+}
+
+func TestReadJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := []Entry{
+		{Name: "PickBest/full", NsPerOp: 1234.5, AllocsPerOp: 7, BytesPerOp: 512},
+	}
+	if err := WriteJSON(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("round trip: got %v, want %v", got, want)
+	}
+	if _, err := ReadJSON(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("ReadJSON on a missing file should error")
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ursa/internal/server"
+	"ursa/internal/store"
+)
+
+// backend is one ursad shard as the router sees it: its base URL, the
+// HTTP client used to forward requests, a PeerClient speaking the
+// /v1/cache protocol for hedged artifact fetches, and the health state
+// the probe loop maintains.
+type backend struct {
+	name string // base URL, e.g. "http://10.0.0.2:8347"
+	hc   *http.Client
+	peer *store.PeerClient
+
+	healthy atomic.Bool
+	queued  atomic.Int64 // admission queue depth from the last probe
+
+	// Probe-loop state, guarded by mu: consecutive failures before an
+	// ejection, and the backoff that spaces readmission probes so a
+	// flapping shard cannot thrash the ring.
+	mu        sync.Mutex
+	fails     int
+	backoff   time.Duration
+	nextProbe time.Time
+}
+
+func newBackend(base string, requestTimeout, peerTimeout time.Duration) (*backend, error) {
+	peer, err := store.NewPeer(base, peerTimeout)
+	if err != nil {
+		return nil, err
+	}
+	b := &backend{
+		name: base,
+		hc:   &http.Client{Timeout: requestTimeout},
+		peer: peer,
+	}
+	b.healthy.Store(true) // optimistic: the first probe corrects this
+	return b, nil
+}
+
+// probeOnce asks the shard for /healthz and reports whether it is
+// serving. A 200 also refreshes the queue-depth snapshot the spillover
+// policy reads; a 503 (draining) or any error counts as down.
+func (b *backend) probeOnce(ctx context.Context, timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.name+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := b.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var h server.HealthJSON
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || resp.StatusCode != http.StatusOK {
+		return false
+	}
+	b.queued.Store(h.Queued)
+	return true
+}
+
+// BackendHealth is one shard's state in the router's /healthz body.
+type BackendHealth struct {
+	Name    string `json:"name"`
+	Healthy bool   `json:"healthy"`
+	Queued  int64  `json:"queued"`
+}
+
+// RouterHealth is the router's GET /healthz body: overall status plus a
+// per-shard snapshot. Status is "ok" while at least one shard is
+// routable, else "down" (with a 503).
+type RouterHealth struct {
+	Status   string          `json:"status"`
+	Healthy  int             `json:"healthy"`
+	Backends []BackendHealth `json:"backends"`
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys returns n pseudo-cache-keys, deterministic across runs.
+func testKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x%016x", rng.Uint64(), rng.Uint64())
+	}
+	return keys
+}
+
+func ringOf(members ...string) *Ring {
+	r := NewRing(0)
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+func shards(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://shard-%d:8347", i)
+	}
+	return out
+}
+
+// TestRingDistribution bounds the skew of key placement: with 128 vnodes
+// per member, no member's share of 1000 keys may stray past 2× (or under
+// half) the fair share, for fleets of 3, 5, and 10 shards.
+func TestRingDistribution(t *testing.T) {
+	keys := testKeys(1000)
+	for _, n := range []int{3, 5, 10} {
+		r := ringOf(shards(n)...)
+		counts := make(map[string]int)
+		for _, k := range keys {
+			owner := r.Owner(k)
+			if owner == "" {
+				t.Fatalf("n=%d: no owner for %s", n, k)
+			}
+			counts[owner]++
+		}
+		if len(counts) != n {
+			t.Errorf("n=%d: only %d members own keys", n, len(counts))
+		}
+		fair := float64(len(keys)) / float64(n)
+		for m, c := range counts {
+			if float64(c) > 2*fair || float64(c) < fair/2 {
+				t.Errorf("n=%d: member %s owns %d keys, fair share %.0f (skew out of [0.5, 2])",
+					n, m, c, fair)
+			}
+		}
+		t.Logf("n=%d: counts=%v", n, counts)
+	}
+}
+
+// TestRingMinimalMovement verifies the consistent-hashing contract: a
+// single join or leave moves well under 2/N of the keys, and every move
+// on a leave lands keys away from the departed member only.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := testKeys(1000)
+	for _, n := range []int{3, 5, 10} {
+		members := shards(n)
+		r := ringOf(members...)
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k] = r.Owner(k)
+		}
+
+		// Join: a new member may only take keys, never reshuffle others.
+		joined := "http://shard-new:8347"
+		r.Add(joined)
+		moved := 0
+		for _, k := range keys {
+			after := r.Owner(k)
+			if after != before[k] {
+				moved++
+				if after != joined {
+					t.Errorf("n=%d: key %s moved %s -> %s on join of %s",
+						n, k, before[k], after, joined)
+				}
+			}
+		}
+		bound := int(2.0 / float64(n+1) * float64(len(keys)))
+		if moved >= bound {
+			t.Errorf("n=%d: join moved %d/%d keys, want < %d (2/N)", n, moved, len(keys), bound)
+		}
+
+		// Leave: only the departed member's keys move.
+		r.Remove(joined)
+		for _, k := range keys {
+			if r.Owner(k) != before[k] {
+				t.Errorf("n=%d: key %s did not return to %s after leave", n, k, before[k])
+			}
+		}
+		victim := members[0]
+		r.Remove(victim)
+		moved = 0
+		for _, k := range keys {
+			after := r.Owner(k)
+			if after != before[k] {
+				moved++
+				if before[k] != victim {
+					t.Errorf("n=%d: key %s moved %s -> %s on leave of %s",
+						n, k, before[k], after, victim)
+				}
+			}
+			if after == victim {
+				t.Errorf("n=%d: key %s still owned by removed member", n, k)
+			}
+		}
+		if moved >= int(2.0/float64(n)*float64(len(keys))) {
+			t.Errorf("n=%d: leave moved %d/%d keys, want < 2/N", n, moved, len(keys))
+		}
+	}
+}
+
+// TestRingDeterministicOwnership pins the property the router depends
+// on: ownership is a pure function of the member set — independent of
+// insertion order, identical across Ring instances (hence across
+// processes), and stable for a golden key so an accidental change to the
+// hash function fails loudly.
+func TestRingDeterministicOwnership(t *testing.T) {
+	keys := testKeys(200)
+	members := shards(5)
+	a := ringOf(members...)
+	b := NewRing(0)
+	for i := len(members) - 1; i >= 0; i-- { // reverse insertion order
+		b.Add(members[i])
+	}
+	c := ringOf(members...)
+	c.Remove(members[2]) // churn: leave then rejoin must restore placement
+	c.Add(members[2])
+	for _, k := range keys {
+		if ao, bo, co := a.Owner(k), b.Owner(k), c.Owner(k); ao != bo || ao != co {
+			t.Fatalf("key %s: owners diverge (%s / %s / %s)", k, ao, bo, co)
+		}
+	}
+
+	// Golden: pins hashPoint/hashKey. If this fails, every deployed
+	// router and every shard's artifact placement changes — bump
+	// deliberately, never accidentally.
+	if got := a.Owner("golden-key"); got != "http://shard-2:8347" {
+		t.Errorf("golden key owner = %s (hash function changed?)", got)
+	}
+}
+
+// TestRingSuccessors checks the failover order: the owner first, then
+// distinct members, never more than the fleet.
+func TestRingSuccessors(t *testing.T) {
+	r := ringOf(shards(4)...)
+	for _, k := range testKeys(50) {
+		succ := r.Successors(k, 10)
+		if len(succ) != 4 {
+			t.Fatalf("key %s: %d successors, want 4", k, len(succ))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("key %s: successor[0] %s != owner %s", k, succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %s: duplicate successor %s", k, s)
+			}
+			seen[s] = true
+		}
+	}
+	if got := r.Successors("k", 2); len(got) != 2 {
+		t.Fatalf("Successors(k, 2) = %v", got)
+	}
+	if got := NewRing(0).Successors("k", 3); got != nil {
+		t.Fatalf("empty ring successors = %v", got)
+	}
+	if NewRing(0).Owner("k") != "" {
+		t.Fatal("empty ring owner should be empty")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -167,6 +168,56 @@ func (cv *CounterVec) write(w io.Writer, name, help string) {
 	}
 }
 
+// -------------------------------------------------------------- gauge vec
+
+// A GaugeVec is a family of gauges keyed by one label value (e.g. backend
+// health by backend address). Like CounterVec, label values are created
+// on first use and live forever; cardinality is expected to be small and
+// bounded.
+type GaugeVec struct {
+	label string
+	mu    sync.Mutex
+	vals  map[string]*Gauge
+}
+
+// GaugeVec registers and returns a new labeled gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	gv := &GaugeVec{label: label, vals: make(map[string]*Gauge)}
+	r.register(name, help, gv)
+	return gv
+}
+
+// With returns the gauge for the given label value, creating it at zero
+// on first use.
+func (gv *GaugeVec) With(value string) *Gauge {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	g, ok := gv.vals[value]
+	if !ok {
+		g = &Gauge{}
+		gv.vals[value] = g
+	}
+	return g
+}
+
+func (gv *GaugeVec) write(w io.Writer, name, help string) {
+	writeHeader(w, name, help, "gauge")
+	gv.mu.Lock()
+	vals := make([]string, 0, len(gv.vals))
+	for v := range gv.vals {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	gauges := make([]*Gauge, len(vals))
+	for i, v := range vals {
+		gauges[i] = gv.vals[v]
+	}
+	gv.mu.Unlock()
+	for i, v := range vals {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, gv.label, v, gauges[i].Value())
+	}
+}
+
 // ------------------------------------------------------------------ gauge
 
 // A Gauge is an integer that can go up and down (queue depth, in-flight
@@ -273,14 +324,85 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 func (h *Histogram) write(w io.Writer, name, help string) {
 	writeHeader(w, name, help, "histogram")
+	h.writeSeries(w, name, "")
+}
+
+// writeSeries renders the bucket/sum/count lines, splicing extraLabels
+// (e.g. `backend="a",`) before the le label — shared by plain histograms
+// and HistogramVec members.
+func (h *Histogram) writeSeries(w io.Writer, name, extraLabels string) {
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.buckets[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, extraLabels, formatFloat(b), cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count.Load())
-	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.sum.load()))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, extraLabels, h.count.Load())
+	if extraLabels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.sum.load()))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, strings.TrimSuffix(extraLabels, ","), formatFloat(h.sum.load()))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, strings.TrimSuffix(extraLabels, ","), h.count.Load())
+	}
+}
+
+// ---------------------------------------------------------- histogram vec
+
+// A HistogramVec is a family of histograms keyed by one label value (e.g.
+// per-backend request latency at the cluster router). All members share
+// the bucket bounds fixed at registration.
+type HistogramVec struct {
+	label  string
+	bounds []float64
+	mu     sync.Mutex
+	vals   map[string]*Histogram
+}
+
+// HistogramVec registers and returns a new labeled histogram family with
+// the given upper bounds (nil means DefBuckets).
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
+		}
+	}
+	hv := &HistogramVec{label: label, bounds: bounds, vals: make(map[string]*Histogram)}
+	r.register(name, help, hv)
+	return hv
+}
+
+// With returns the histogram for the given label value, creating it empty
+// on first use.
+func (hv *HistogramVec) With(value string) *Histogram {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	h, ok := hv.vals[value]
+	if !ok {
+		h = &Histogram{bounds: hv.bounds, buckets: make([]atomic.Uint64, len(hv.bounds))}
+		hv.vals[value] = h
+	}
+	return h
+}
+
+func (hv *HistogramVec) write(w io.Writer, name, help string) {
+	writeHeader(w, name, help, "histogram")
+	hv.mu.Lock()
+	vals := make([]string, 0, len(hv.vals))
+	for v := range hv.vals {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	hists := make([]*Histogram, len(vals))
+	for i, v := range vals {
+		hists[i] = hv.vals[v]
+	}
+	hv.mu.Unlock()
+	for i, v := range vals {
+		hists[i].writeSeries(w, name, fmt.Sprintf("%s=%q,", hv.label, v))
+	}
 }
 
 // atomicFloat is a float64 accumulated via compare-and-swap on its bits.

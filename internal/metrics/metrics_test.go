@@ -158,3 +158,51 @@ func TestConcurrentMutation(t *testing.T) {
 		t.Errorf("histogram count = %d, want 8000", h.Count())
 	}
 }
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("backend_healthy", "shard liveness", "backend")
+	gv.With("http://b:1").Set(1)
+	gv.With("http://a:1").Set(0)
+	gv.With("http://b:1").Set(0) // same label returns the same gauge
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE backend_healthy gauge",
+		`backend_healthy{backend="http://a:1"} 0`,
+		`backend_healthy{backend="http://b:1"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gauge vec missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, `"http://a:1"`) > strings.Index(out, `"http://b:1"`) {
+		t.Errorf("gauge vec labels not sorted:\n%s", out)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("backend_seconds", "per-shard latency", "backend", []float64{1, 10})
+	hv.With("a").Observe(0.5)
+	hv.With("a").Observe(5)
+	hv.With("b").Observe(50)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE backend_seconds histogram",
+		`backend_seconds_bucket{backend="a",le="1"} 1`,
+		`backend_seconds_bucket{backend="a",le="10"} 2`,
+		`backend_seconds_bucket{backend="a",le="+Inf"} 2`,
+		`backend_seconds_bucket{backend="b",le="+Inf"} 1`,
+		`backend_seconds_sum{backend="a"} 5.5`,
+		`backend_seconds_count{backend="a"} 2`,
+		`backend_seconds_count{backend="b"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram vec missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"ursa/internal/ir"
@@ -43,9 +44,13 @@ func CompileFuncCached(f *ir.Func, m *machine.Config, method Method, opts Option
 	}
 
 	key := CacheKey(f, m, method, opts)
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var fresh *FuncProgram
 	var freshStats *Stats
-	data, tier, err := opts.Results.GetOrCompute(key, func() ([]byte, error) {
+	data, tier, err := opts.Results.GetOrComputeCtx(ctx, key, func() ([]byte, error) {
 		fp, st, err := CompileFunc(f, m, method, opts)
 		if err != nil {
 			return nil, err

@@ -153,6 +153,28 @@ func (cr *CompileRequest) load() (*ir.Func, bool, error) {
 	}
 }
 
+// CacheKey derives the canonical compile-result cache key this request
+// resolves to — the same pipeline.CacheKey the daemon computes before
+// compiling, so a router in front of a fleet can place the request on
+// the shard that owns (or will own) the artifact. Fails on exactly the
+// inputs the daemon would reject with 400 (bad source, unknown method
+// or machine).
+func (cr *CompileRequest) CacheKey() (string, error) {
+	f, _, err := cr.load()
+	if err != nil {
+		return "", fmt.Errorf("parse: %w", err)
+	}
+	method, err := cr.method()
+	if err != nil {
+		return "", err
+	}
+	m, err := cr.Machine.resolve()
+	if err != nil {
+		return "", fmt.Errorf("machine: %w", err)
+	}
+	return pipeline.CacheKey(f, m, method, pipeline.Options{Optimize: cr.Optimize}), nil
+}
+
 // method resolves the pipeline name.
 func (cr *CompileRequest) method() (pipeline.Method, error) {
 	if cr.Method == "" {
@@ -244,9 +266,13 @@ func memCells(st *ir.State) []MemCell {
 // Under concurrent requests the measurement attribution is approximate
 // (the counters are process-wide), but the sum across requests is exact.
 type CacheDelta struct {
-	Hits      uint64           `json:"hits"`
-	Misses    uint64           `json:"misses"`
-	Result    string           `json:"result,omitempty"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Result string `json:"result,omitempty"`
+	// Key is the canonical compile-result cache key (pipeline.CacheKey)
+	// when the artifact cache is enabled — the handle for
+	// GET /v1/cache/{key} and the unit the cluster router shards on.
+	Key       string           `json:"key,omitempty"`
 	Artifacts *store.TierStats `json:"artifacts,omitempty"`
 }
 

@@ -521,6 +521,7 @@ func (s *Server) compileOne(ctx context.Context, cr *CompileRequest) (*CompileRe
 	resp.Cache = CacheDelta{Hits: hits1 - hits0, Misses: misses1 - misses0}
 	if s.artifacts != nil {
 		resp.Cache.Result = tierLabel(cf.Tier)
+		resp.Cache.Key = cf.Key
 		resp.Cache.Artifacts = s.artifactStats()
 	}
 	s.mServedBy.With(tierLabel(cf.Tier)).Inc()
@@ -751,6 +752,7 @@ func (s *Server) runBatch(ctx context.Context, br *BatchRequest) (*BatchResponse
 			resp.Blocks = artifactListings(out.Cached.Artifact)
 			if s.artifacts != nil {
 				resp.Cache.Result = tierLabel(out.Cached.Tier)
+				resp.Cache.Key = out.Cached.Key
 			}
 			s.mServedBy.With(tierLabel(out.Cached.Tier)).Inc()
 		case out.Prog != nil:

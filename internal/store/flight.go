@@ -2,12 +2,14 @@ package store
 
 import "sync"
 
-// group coalesces concurrent work for equal keys: the first caller of do
+// Flight coalesces concurrent work for equal keys: the first caller of Do
 // for a key becomes the leader and runs fn; callers arriving while the
 // leader is in flight wait and share the leader's result. It is the
-// store's single-flight primitive, shared by the disk store and the
-// tiered cache.
-type group struct {
+// store's single-flight primitive, shared by the disk store, the tiered
+// cache, and the cluster router (which coalesces concurrent identical
+// compile requests into one upstream call). The zero value is ready to
+// use.
+type Flight struct {
 	mu    sync.Mutex
 	calls map[string]*call
 }
@@ -18,10 +20,12 @@ type call struct {
 	err  error
 }
 
-// do runs fn for key unless a call for key is already in flight, in which
+// Do runs fn for key unless a call for key is already in flight, in which
 // case it waits for that call's result. The third return reports whether
-// this caller was the leader (i.e. fn actually ran here).
-func (g *group) do(key string, fn func() ([]byte, error)) (data []byte, err error, leader bool) {
+// this caller was the leader (i.e. fn actually ran here). Coalesced
+// callers must treat the returned bytes as immutable: every waiter shares
+// one slice.
+func (g *Flight) Do(key string, fn func() ([]byte, error)) (data []byte, err error, leader bool) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*call)

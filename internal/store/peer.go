@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -58,16 +59,30 @@ func NewPeer(base string, timeout time.Duration) (*PeerClient, error) {
 
 func (p *PeerClient) url(key string) string { return p.base + "/v1/cache/" + key }
 
-// Get fetches the artifact under key from the peer. The raw bytes travel
-// with their integrity hash (the store's file format), so a corrupted or
-// truncated transfer is detected here and counted as an error, never
-// handed to the pipeline.
+// Get fetches the artifact under key from the peer with the client's
+// configured timeout as the only deadline.
 func (p *PeerClient) Get(key string) ([]byte, bool) {
+	return p.GetCtx(context.Background(), key)
+}
+
+// GetCtx fetches the artifact under key from the peer. The raw bytes
+// travel with their integrity hash (the store's file format), so a
+// corrupted or truncated transfer is detected here and counted as an
+// error, never handed to the pipeline. The request runs under ctx in
+// addition to the client timeout, so a caller racing the peer against
+// another source (the router's hedged fallback) can cancel the losing
+// leg instead of letting it run to the deadline.
+func (p *PeerClient) GetCtx(ctx context.Context, key string) ([]byte, bool) {
 	if p == nil || !validKey(key) {
 		return nil, false
 	}
 	p.gets.Add(1)
-	resp, err := p.hc.Get(p.url(key))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url(key), nil)
+	if err != nil {
+		p.errors.Add(1)
+		return nil, false
+	}
+	resp, err := p.hc.Do(req)
 	if err != nil {
 		p.errors.Add(1)
 		return nil, false
@@ -98,11 +113,16 @@ func (p *PeerClient) Get(key string) ([]byte, bool) {
 // and otherwise ignored. The payload is framed with its sha256 (the same
 // format Get expects), so the receiving daemon can verify before storing.
 func (p *PeerClient) Put(key string, data []byte) {
+	p.PutCtx(context.Background(), key, data)
+}
+
+// PutCtx is Put under a caller context (plus the client timeout).
+func (p *PeerClient) PutCtx(ctx context.Context, key string, data []byte) {
 	if p == nil || !validKey(key) {
 		return
 	}
 	p.puts.Add(1)
-	req, err := http.NewRequest(http.MethodPut, p.url(key), bytes.NewReader(Frame(data)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, p.url(key), bytes.NewReader(Frame(data)))
 	if err != nil {
 		p.errors.Add(1)
 		return

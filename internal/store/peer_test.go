@@ -1,0 +1,76 @@
+package store
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// slowPeer serves /v1/cache GETs only after its delay — or never, if the
+// client's context dies first.
+func slowPeer(t *testing.T, delay time.Duration, payload []byte) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return
+		}
+		w.Write(Frame(payload))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestPeerGetCtxCancel pins the property the router's hedging depends
+// on: cancelling the caller's context aborts an in-flight peer fetch
+// immediately instead of waiting out the client timeout.
+func TestPeerGetCtxCancel(t *testing.T) {
+	ts := slowPeer(t, 10*time.Second, []byte("payload"))
+	p, err := NewPeer(ts.URL, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, ok := p.GetCtx(ctx, "somekey"); ok {
+		t.Fatal("cancelled fetch reported a hit")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled fetch took %v, want immediate abort", elapsed)
+	}
+}
+
+// TestPeerConfigurableTimeout pins the satellite fix: the round-trip
+// deadline is the NewPeer argument, not a hardcoded 2s.
+func TestPeerConfigurableTimeout(t *testing.T) {
+	ts := slowPeer(t, 10*time.Second, []byte("payload"))
+	p, err := NewPeer(ts.URL, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, ok := p.Get("somekey"); ok {
+		t.Fatal("timed-out fetch reported a hit")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("fetch with 50ms timeout took %v", elapsed)
+	}
+
+	// The slow path still succeeds when the timeout accommodates it.
+	fast := slowPeer(t, 0, []byte("payload"))
+	p, err = NewPeer(fast.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := p.Get("somekey")
+	if !ok || string(data) != "payload" {
+		t.Fatalf("Get = %q, %v", data, ok)
+	}
+}

@@ -68,7 +68,7 @@ type Store struct {
 	bytes   int64
 	stats   StoreStats
 
-	flight group
+	flight Flight
 }
 
 // diskEntry is one artifact's index record, threaded on the LRU list.
@@ -389,7 +389,7 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) ([]byte
 	if data, ok := s.Get(key); ok {
 		return data, nil
 	}
-	data, err, _ := s.flight.do(key, func() ([]byte, error) {
+	data, err, _ := s.flight.Do(key, func() ([]byte, error) {
 		// Re-check: a previous leader may have stored the artifact
 		// between our miss and acquiring the flight slot.
 		if data, ok := s.Get(key); ok {

@@ -1,6 +1,9 @@
 package store
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Tier identifies which cache layer served (or failed to serve) a lookup.
 type Tier uint8
@@ -67,7 +70,7 @@ type TieredCache struct {
 	computes  uint64
 	coalesced uint64
 
-	flight group
+	flight Flight
 }
 
 // NewTiered assembles a cache from its tiers. memBudget <= 0 means
@@ -85,6 +88,14 @@ func (t *TieredCache) Disk() *Store { return t.disk }
 // Get looks the key up tier by tier, reporting which tier answered. A
 // disk hit refills memory; a peer hit refills disk and memory.
 func (t *TieredCache) Get(key string) ([]byte, Tier, bool) {
+	return t.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get under a caller context: the peer round-trip (the only
+// tier that leaves the process) is cancelled when ctx is, so a cancelled
+// compile request stops waiting on a slow peer instead of burning the
+// full peer timeout.
+func (t *TieredCache) GetCtx(ctx context.Context, key string) ([]byte, Tier, bool) {
 	if t == nil {
 		return nil, TierNone, false
 	}
@@ -95,7 +106,7 @@ func (t *TieredCache) Get(key string) ([]byte, Tier, bool) {
 		t.mem.put(key, data)
 		return data, TierDisk, true
 	}
-	if data, ok := t.peer.Get(key); ok {
+	if data, ok := t.peer.GetCtx(ctx, key); ok {
 		_ = t.disk.Put(key, data)
 		t.mem.put(key, data)
 		return data, TierPeer, true
@@ -147,15 +158,23 @@ func (t *TieredCache) LocalPut(key string, data []byte) {
 // TierFlight). A compute error reaches every coalesced caller and is
 // never cached.
 func (t *TieredCache) GetOrCompute(key string, compute func() ([]byte, error)) ([]byte, Tier, error) {
+	return t.GetOrComputeCtx(context.Background(), key, compute)
+}
+
+// GetOrComputeCtx is GetOrCompute with the lookup's peer leg under ctx.
+// The write-through after a compute intentionally stays on the background
+// context: once the result exists it should reach every tier even if the
+// requesting client has gone away.
+func (t *TieredCache) GetOrComputeCtx(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, Tier, error) {
 	if t == nil {
 		data, err := compute()
 		return data, TierNone, err
 	}
-	if data, tier, ok := t.Get(key); ok {
+	if data, tier, ok := t.GetCtx(ctx, key); ok {
 		return data, tier, nil
 	}
 	var servedBy Tier = TierNone
-	data, err, leader := t.flight.do(key, func() ([]byte, error) {
+	data, err, leader := t.flight.Do(key, func() ([]byte, error) {
 		// Re-check the fast tier: a previous leader may have landed the
 		// artifact between our miss and acquiring the flight slot.
 		if data, ok := t.mem.get(key); ok {

@@ -32,6 +32,7 @@ package ursa
 
 import (
 	"io"
+	"time"
 
 	"ursa/internal/assign"
 	"ursa/internal/core"
@@ -236,28 +237,54 @@ func CompileFuncOpts(f *Func, m *Machine, method Method, opts CompileOptions) (*
 	return pipeline.CompileFunc(f, m, method, opts)
 }
 
-// OpenResultCache assembles a tiered compile-result cache. dir, when
-// non-empty, adds a persistent content-addressed disk tier under that
-// directory (diskBudget <= 0 means 1 GiB); peerURL, when non-empty, adds
-// a remote ursad peer tier ("http://host:8347"). memBudget <= 0 means
-// 64 MiB. Set the result on CompileOptions.Results and compile with
-// CompileFuncCached; see docs/CACHE.md.
-func OpenResultCache(dir string, memBudget, diskBudget int64, peerURL string) (*ResultCache, error) {
+// CacheConfig assembles a tiered compile-result cache for
+// OpenResultCacheConfig. The zero value is a memory-only cache with the
+// default budget.
+type CacheConfig struct {
+	// Dir, when non-empty, adds a persistent content-addressed disk tier
+	// under that directory.
+	Dir string
+	// MemBudget bounds the memory tier in bytes (<= 0: 64 MiB).
+	MemBudget int64
+	// DiskBudget bounds the disk tier in bytes (<= 0: 1 GiB).
+	DiskBudget int64
+	// PeerURL, when non-empty, adds a remote ursad peer tier
+	// ("http://host:8347") consulted on local misses.
+	PeerURL string
+	// PeerTimeout bounds one peer round-trip (<= 0:
+	// store.DefaultPeerTimeout, 2s). Raise it for high-latency links,
+	// lower it when a local recompile is cheaper than a slow peer.
+	PeerTimeout time.Duration
+}
+
+// OpenResultCacheConfig assembles a tiered compile-result cache
+// (memory → disk → peer) from cfg. Set the result on
+// CompileOptions.Results and compile with CompileFuncCached; see
+// docs/CACHE.md.
+func OpenResultCacheConfig(cfg CacheConfig) (*ResultCache, error) {
 	var disk *store.Store
-	if dir != "" {
+	if cfg.Dir != "" {
 		var err error
-		if disk, err = store.Open(dir, diskBudget); err != nil {
+		if disk, err = store.Open(cfg.Dir, cfg.DiskBudget); err != nil {
 			return nil, err
 		}
 	}
 	var peer *store.PeerClient
-	if peerURL != "" {
+	if cfg.PeerURL != "" {
 		var err error
-		if peer, err = store.NewPeer(peerURL, 0); err != nil {
+		if peer, err = store.NewPeer(cfg.PeerURL, cfg.PeerTimeout); err != nil {
 			return nil, err
 		}
 	}
-	return store.NewTiered(memBudget, disk, peer), nil
+	return store.NewTiered(cfg.MemBudget, disk, peer), nil
+}
+
+// OpenResultCache is OpenResultCacheConfig with positional arguments and
+// the default peer timeout, kept for existing callers.
+func OpenResultCache(dir string, memBudget, diskBudget int64, peerURL string) (*ResultCache, error) {
+	return OpenResultCacheConfig(CacheConfig{
+		Dir: dir, MemBudget: memBudget, DiskBudget: diskBudget, PeerURL: peerURL,
+	})
 }
 
 // CompileFuncCached is CompileFuncOpts behind the tiered result cache in
