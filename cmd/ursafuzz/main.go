@@ -2,7 +2,8 @@
 // random seeded programs and machines, push them through every compilation
 // pipeline, and cross-check each stage against the independent oracles in
 // internal/check (brute-force width, schedule legality, transformation
-// monotonicity, differential execution). Failures are shrunk to minimal
+// monotonicity, differential execution, and the exact solver's proven
+// optimality bounds). Failures are shrunk to minimal
 // reproducing cases and optionally written as ready-to-commit .ursafuzz
 // regression files.
 //

@@ -1,0 +1,119 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"ursa/internal/dag"
+	"ursa/internal/exact"
+	"ursa/internal/ir"
+	"ursa/internal/pipeline"
+)
+
+// TestExactBoundsOnCorpus is the gap property stated directly, outside
+// the oracle machinery: on every committed corpus case the solver
+// accepts, each heuristic method's emitted word count is at least the
+// program-model optimum, its spill-free register usage is at least the
+// minimum pressure, and the solver returns identical results when run
+// twice. Violations here are solver bugs by the issue's charter: a
+// heuristic cannot beat a true optimum.
+func TestExactBoundsOnCorpus(t *testing.T) {
+	corpus, err := LoadCorpus("testdata/fuzz")
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	solved := 0
+	for name, c := range corpus {
+		t.Run(name, func(t *testing.T) {
+			m := c.Mach.Config()
+			g, err := dag.Build(c.Block())
+			if err != nil {
+				t.Fatalf("dag.Build: %v", err)
+			}
+			res, err := exact.Solve(g, m, exact.Options{})
+			if err != nil {
+				if exact.Skippable(err) {
+					t.Skipf("solver refused: %v", err)
+				}
+				t.Fatalf("Solve: %v", err)
+			}
+			solved++
+			again, err := exact.Solve(g, m, exact.Options{})
+			if err != nil {
+				t.Fatalf("second Solve: %v", err)
+			}
+			if res.MinWords != again.MinWords || res.MinWordsProg != again.MinWordsProg || res.MinPressure != again.MinPressure {
+				t.Fatalf("solver not deterministic: %+v vs %+v", res, again)
+			}
+			overc := overcommitted(c)
+			for _, method := range pipeline.Methods {
+				_, st, err := pipeline.Compile(c.Block(), m, method, pipeline.Options{})
+				if err != nil {
+					if overc {
+						continue
+					}
+					t.Errorf("%s: compile: %v", method, err)
+					continue
+				}
+				if st.Words < res.MinWordsProg {
+					t.Errorf("%s emits %d words, below the program-model optimum %d", method, st.Words, res.MinWordsProg)
+				}
+				if st.SpillOps == 0 {
+					for cl := ir.Class(0); cl < ir.NumClasses; cl++ {
+						if st.RegsUsed[cl] < res.MinPressure[cl] {
+							t.Errorf("%s uses %d %s registers, below minimum pressure %d",
+								method, st.RegsUsed[cl], cl, res.MinPressure[cl])
+						}
+					}
+				}
+			}
+		})
+	}
+	if solved == 0 {
+		t.Error("solver refused every corpus case; the property was never exercised")
+	}
+}
+
+// TestExactDeterministicAcrossWorkers: the exact lane's output through
+// the function compiler is byte-identical at every block-level worker
+// count and across repeated runs — the solver must not leak scheduling
+// nondeterminism into emitted code.
+func TestExactDeterministicAcrossWorkers(t *testing.T) {
+	corpus, err := LoadCorpus("testdata/fuzz")
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	exercised := 0
+	for name, c := range corpus {
+		m := c.Mach.Config()
+		var baseline string
+		var baseStats pipeline.Stats
+		for run, workers := range []int{1, 4, 8, 1} {
+			fp, st, err := pipeline.CompileFunc(c.Func, m, pipeline.Exact, pipeline.Options{Workers: workers})
+			if err != nil {
+				if run == 0 {
+					break // skippable, overcommitted, or uncompilable: skip the case
+				}
+				t.Fatalf("%s: workers=%d compiled where workers=1 did not: %v", name, workers, err)
+			}
+			var sb strings.Builder
+			for i, prog := range fp.Blocks {
+				sb.WriteString(c.Func.Blocks[i].Label + ":\n" + prog.String())
+			}
+			if run == 0 {
+				baseline, baseStats = sb.String(), *st
+				exercised++
+				continue
+			}
+			if sb.String() != baseline {
+				t.Errorf("%s: workers=%d (run %d) changed the exact lane's code", name, workers, run)
+			}
+			if *st != baseStats {
+				t.Errorf("%s: workers=%d (run %d) changed stats: %+v vs %+v", name, workers, run, *st, baseStats)
+			}
+		}
+	}
+	if exercised == 0 {
+		t.Error("no corpus case compiled through the exact lane")
+	}
+}

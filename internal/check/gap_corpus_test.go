@@ -1,0 +1,114 @@
+package check
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"ursa/internal/dag"
+	"ursa/internal/exact"
+	"ursa/internal/pipeline"
+)
+
+// gapCorpusTarget is how many committed nonzero-gap cases the corpus
+// must carry (see TestGapCorpusCommitted).
+const gapCorpusTarget = 20
+
+// caseGap returns the largest word gap any heuristic method shows
+// against the program-model optimum on the case, or -1 when the solver
+// refuses or no method compiles. A positive gap is a case worth
+// keeping: it documents the heuristics' real distance from optimal.
+func caseGap(c *Case) int {
+	g, err := dag.Build(c.Block())
+	if err != nil {
+		return -1
+	}
+	res, err := exact.Solve(g, c.Mach.Config(), exact.Options{})
+	if err != nil {
+		return -1
+	}
+	gap := -1
+	for _, method := range pipeline.Methods {
+		_, st, err := pipeline.Compile(c.Block(), c.Mach.Config(), method, pipeline.Options{})
+		if err != nil {
+			continue
+		}
+		if d := st.Words - res.MinWordsProg; d > gap {
+			gap = d
+		}
+	}
+	return gap
+}
+
+// TestSeedGapCorpus regenerates the committed gap corpus: it scans
+// generator seeds for cases where some heuristic emits strictly more
+// words than the proven optimum, keeps only cases every oracle passes
+// (so TestCorpus replays them clean), and writes them to testdata/fuzz
+// as gap-<seed>.ursafuzz. Gated behind URSA_SEED_GAP_CORPUS=1 because
+// it rewrites the committed corpus; run it when the generator or the
+// solver changes enough to invalidate the old files.
+func TestSeedGapCorpus(t *testing.T) {
+	if os.Getenv("URSA_SEED_GAP_CORPUS") == "" {
+		t.Skip("set URSA_SEED_GAP_CORPUS=1 to regenerate the gap corpus")
+	}
+	found := 0
+	for seed := int64(0); seed < 100_000 && found < gapCorpusTarget; seed++ {
+		c := Generate(rand.New(rand.NewSource(seed)), GenConfig{})
+		if caseGap(c) <= 0 {
+			continue
+		}
+		if rep := Check(c, nil); rep.Failed() {
+			continue // a finding, not corpus material; the campaign owns it
+		}
+		name := "gap-" + strings.ReplaceAll(c.Func.Name, "_", "-") + "-s" + itoa(seed)
+		if _, err := WriteCase("testdata/fuzz", name, c); err != nil {
+			t.Fatalf("WriteCase: %v", err)
+		}
+		found++
+		t.Logf("seed %d: %s", seed, name)
+	}
+	if found < gapCorpusTarget {
+		t.Fatalf("found only %d nonzero-gap cases", found)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TestGapCorpusCommitted pins the gap corpus's reason to exist: at least
+// gapCorpusTarget committed gap-*.ursafuzz cases, each still showing a
+// strictly positive heuristic-vs-optimal word gap. If a heuristic
+// improvement closes a gap, regenerate with TestSeedGapCorpus rather
+// than letting the corpus go stale. (TestCorpus separately replays these
+// files through every oracle.)
+func TestGapCorpusCommitted(t *testing.T) {
+	corpus, err := LoadCorpus("testdata/fuzz")
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	n := 0
+	for name, c := range corpus {
+		if !strings.HasPrefix(name, "gap-") {
+			continue
+		}
+		n++
+		if g := caseGap(c); g <= 0 {
+			t.Errorf("%s: heuristic-optimal gap is %d; the case no longer earns its name", name, g)
+		}
+	}
+	if n < gapCorpusTarget {
+		t.Errorf("corpus holds %d gap cases; want at least %d", n, gapCorpusTarget)
+	}
+}

@@ -172,7 +172,7 @@ func Generate(rng *rand.Rand, cfg GenConfig) *Case {
 			panic("check: pick from empty pool")
 		}
 		if rng.Float64() < sh.recentBias {
-			k := len(pool) - 1 - rng.Intn(minInt(3, len(pool)))
+			k := len(pool) - 1 - rng.Intn(min(3, len(pool)))
 			return pool[k]
 		}
 		return pool[rng.Intn(len(pool))]
@@ -371,11 +371,4 @@ func genMachine(rng *rand.Rand) *MachineSpec {
 		s.Width = 1 + rng.Intn(4)
 	}
 	return s
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

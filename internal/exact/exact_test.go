@@ -1,0 +1,365 @@
+package exact_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ursa/internal/dag"
+	"ursa/internal/exact"
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+	"ursa/internal/sched"
+)
+
+func buildGraph(t *testing.T, src string) *dag.Graph {
+	t.Helper()
+	f := ir.MustParse(src)
+	g, err := dag.Build(f.Blocks[0])
+	if err != nil {
+		t.Fatalf("dag.Build: %v", err)
+	}
+	return g
+}
+
+// randProg emits a random straight-line integer program: one load and
+// n-1 arithmetic ops over randomly chosen earlier results.
+func randProg(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	b.WriteString("func brute {\nentry:\n")
+	b.WriteString("\tr0 = load V[0]\n")
+	ops := []string{"add", "mul", "div"}
+	for i := 1; i < n; i++ {
+		a := rng.Intn(i)
+		c := rng.Intn(i)
+		fmt.Fprintf(&b, "\tr%d = %s r%d, r%d\n", i, ops[rng.Intn(len(ops))], a, c)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// bruteOrders enumerates every topological order of the instruction
+// nodes and yields the earliest-start width-1 schedule of each. On a
+// single non-pipelined unit every feasible schedule is such an order, so
+// minimizing over them is exact.
+func bruteOrders(g *dag.Graph, m *machine.Config, visit func(s *sched.Schedule)) {
+	instrs := g.InstrNodes()
+	idx := map[int]int{}
+	for i, id := range instrs {
+		idx[id] = i
+	}
+	n := len(instrs)
+	preds := make([][]int, n)
+	for i, id := range instrs {
+		for _, p := range g.Preds(id) {
+			if j, ok := idx[p]; ok {
+				preds[i] = append(preds[i], j)
+			}
+		}
+	}
+	order := make([]int, 0, n)
+	var rec func(done uint64)
+	rec = func(done uint64) {
+		if len(order) == n {
+			// Earliest-start simulation on one unit.
+			finish := make([]int, n)
+			var ps []sched.Placement
+			free := 0
+			for _, i := range order {
+				at := free
+				for _, p := range preds[i] {
+					if finish[p] > at {
+						at = finish[p]
+					}
+				}
+				lat := m.LatencyOf(g.Nodes[instrs[i]].Instr.Op)
+				finish[i] = at + lat
+				free = at + m.OccupancyOf(g.Nodes[instrs[i]].Instr.Op)
+				ps = append(ps, sched.Placement{Node: instrs[i], Cycle: at, Class: m.ClassFor(g.Nodes[instrs[i]].Instr.Kind())})
+			}
+			visit(sched.FromPlacements(g, m, ps))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			ok := true
+			for _, p := range preds[i] {
+				if done&(1<<p) == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			order = append(order, i)
+			rec(done | 1<<i)
+			order = order[:len(order)-1]
+		}
+	}
+	rec(0)
+}
+
+// brutePressure enumerates every word partition of the DAG — chains of
+// downsets whose steps are arbitrary nonempty subsets of the ready
+// antichain, with none of the solver's connected-word restriction — and
+// returns the minimum peak boundary-live count for class-c values. It
+// mirrors MinPressure's program model naively, so agreement validates
+// both the DP and the restriction.
+func brutePressure(g *dag.Graph, c ir.Class) int {
+	f := g.Func
+	instrs := g.InstrNodes()
+	n := len(instrs)
+	idx := map[int]int{}
+	for i, id := range instrs {
+		idx[id] = i
+	}
+	defBit := map[ir.VReg]int{}
+	users := map[ir.VReg]uint64{}
+	for i, id := range instrs {
+		in := g.Nodes[id].Instr
+		if in.Dst != ir.NoReg && f.ClassOf(in.Dst) == c {
+			defBit[in.Dst] = i
+		}
+		for _, u := range in.Uses() {
+			if f.ClassOf(u) == c {
+				users[u] |= 1 << i
+			}
+		}
+	}
+	preds := make([]uint64, n)
+	for i, id := range instrs {
+		for _, p := range g.Preds(id) {
+			if j, ok := idx[p]; ok {
+				preds[i] |= 1 << j
+			}
+		}
+	}
+	live := func(S uint64) int {
+		l := 0
+		for v, d := range defBit {
+			if S&(1<<d) != 0 && (users[v]&^S != 0 || g.LiveOut[v]) {
+				l++
+			}
+		}
+		return l
+	}
+	full := uint64(1)<<n - 1
+	memo := map[uint64]int{}
+	var rec func(S uint64) int
+	rec = func(S uint64) int {
+		if S == full {
+			return 0
+		}
+		if v, ok := memo[S]; ok {
+			return v
+		}
+		var ready uint64
+		for i := 0; i < n; i++ {
+			if S&(1<<i) == 0 && S&preds[i] == preds[i] {
+				ready |= 1 << i
+			}
+		}
+		best := int(^uint(0) >> 1)
+		for A := ready; A != 0; A = (A - 1) & ready {
+			nS := S | A
+			if v := max(live(nS), rec(nS)); v < best {
+				best = v
+			}
+		}
+		memo[S] = best
+		return best
+	}
+	return rec(0)
+}
+
+// TestBruteForceTiny cross-checks both solvers against exhaustive
+// enumeration: topological orders on a width-1 machine for the makespan
+// (where every feasible schedule is such an order) and unrestricted word
+// partitions for the pressure bound.
+func TestBruteForceTiny(t *testing.T) {
+	m := machine.VLIW(1, 8)
+	m.Latency = machine.RealisticLatency
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		g := buildGraph(t, randProg(rng, 3+rng.Intn(5)))
+		wantWords := int(^uint(0) >> 1)
+		bruteOrders(g, m, func(s *sched.Schedule) {
+			if s.Cycles < wantWords {
+				wantWords = s.Cycles
+			}
+		})
+		wantPressure := brutePressure(g, ir.ClassInt)
+		res, err := exact.Solve(g, m, exact.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		if res.MinWords != wantWords {
+			t.Errorf("trial %d: MinWords = %d, brute force says %d", trial, res.MinWords, wantWords)
+		}
+		if res.MinPressure[ir.ClassInt] != wantPressure {
+			t.Errorf("trial %d: MinPressure = %d, brute force says %d", trial, res.MinPressure[ir.ClassInt], wantPressure)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Errorf("trial %d: optimal schedule invalid: %v", trial, err)
+		}
+		if res.Schedule.Cycles != res.MinWords {
+			t.Errorf("trial %d: schedule spans %d cycles, MinWords = %d", trial, res.Schedule.Cycles, res.MinWords)
+		}
+	}
+}
+
+// TestResidueOptimal pins a hand-checkable instance: three divisions
+// (latency 4) behind one load (latency 2) on a 2-wide machine. Two divs
+// run in parallel after the load, the third must wait: 2+4+4 = 10.
+func TestResidueOptimal(t *testing.T) {
+	g := buildGraph(t, `
+func residue {
+entry:
+	v = load V[0]
+	a = div v, v
+	b = div v, v
+	c = div v, v
+	store Z[0], a
+	store Z[1], b
+	store Z[2], c
+}`)
+	m := machine.VLIW(2, 8)
+	m.Latency = machine.RealisticLatency
+	res, err := exact.Solve(g, m, exact.Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// load 0-2, two divs 2-6, third div 6-10 alongside the (ordered)
+	// stores: a at 6-8, b at 8-10, c at 10-12.
+	if res.MinWords != 12 {
+		t.Errorf("MinWords = %d, want 12", res.MinWords)
+	}
+	ub, err := sched.List(g, m, sched.Options{})
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if res.MinWords > ub.Cycles {
+		t.Errorf("exact %d exceeds list schedule %d", res.MinWords, ub.Cycles)
+	}
+}
+
+// TestDeterministic runs the solver repeatedly on the same inputs and
+// requires identical results, including the placements of the schedule.
+func TestDeterministic(t *testing.T) {
+	m := machine.VLIW(2, 6)
+	m.Latency = machine.RealisticLatency
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		src := randProg(rng, 4+rng.Intn(10))
+		var first *exact.Result
+		for run := 0; run < 3; run++ {
+			res, err := exact.Solve(buildGraph(t, src), m, exact.Options{})
+			if err != nil {
+				t.Fatalf("trial %d run %d: %v", trial, run, err)
+			}
+			if first == nil {
+				first = res
+				continue
+			}
+			if res.MinWords != first.MinWords || res.MinPressure != first.MinPressure {
+				t.Fatalf("trial %d run %d: bounds changed: %+v vs %+v", trial, run, res, first)
+			}
+			if !reflect.DeepEqual(res.Schedule.Placements, first.Schedule.Placements) {
+				t.Fatalf("trial %d run %d: placements changed", trial, run)
+			}
+		}
+	}
+}
+
+// adversarialGraph is the solver's worst case at the node limit: one
+// load feeding 29 mutually independent divisions. The search space over
+// issue subsets of up to 29 ready divisions is astronomically large, and
+// the static lower bound (occupancy volume 59) sits below what any
+// schedule achieves (60 division cycles cannot pair perfectly after the
+// load), so the search cannot shortcut.
+func adversarialGraph(t *testing.T) *dag.Graph {
+	var b strings.Builder
+	b.WriteString("func adversarial {\nentry:\n\tv = load V[0]\n")
+	for i := 0; i < 29; i++ {
+		fmt.Fprintf(&b, "\td%d = div v, v\n", i)
+	}
+	b.WriteString("}\n")
+	return buildGraph(t, b.String())
+}
+
+func adversarialMachine() *machine.Config {
+	m := machine.VLIW(2, 64)
+	m.Latency = machine.RealisticLatency
+	return m
+}
+
+// TestCtxCancelAdversarial is the timeout guard the CI fuzz job relies
+// on: on an adversarial 30-node case the solver must honor
+// pipeline.Options.Ctx cancellation promptly instead of searching for
+// hours.
+func TestCtxCancelAdversarial(t *testing.T) {
+	g := adversarialGraph(t)
+	m := adversarialMachine()
+
+	// Pre-canceled context: the solver must give up almost immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	begin := time.Now()
+	_, err := exact.Makespan(g, m, exact.Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Makespan with canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(begin); d > 5*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+	if !exact.Skippable(err) {
+		t.Fatalf("cancellation should be a skippable refusal, got %v", err)
+	}
+
+	// Deadline mid-search: same property under a running timer.
+	dctx, dcancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer dcancel()
+	begin = time.Now()
+	_, err = exact.Makespan(g, m, exact.Options{Ctx: dctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Makespan with deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(begin); d > 5*time.Second {
+		t.Fatalf("deadline honored after %v", d)
+	}
+}
+
+// TestBudgetExhaustion: the same adversarial case under a tiny state
+// budget reports ErrBudget rather than searching on.
+func TestBudgetExhaustion(t *testing.T) {
+	g := adversarialGraph(t)
+	_, err := exact.Makespan(g, adversarialMachine(), exact.Options{Budget: 2000})
+	if !errors.Is(err, exact.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if !exact.Skippable(err) {
+		t.Fatal("budget exhaustion must be skippable")
+	}
+}
+
+// TestNodeLimit: blocks beyond NodeLimit are refused up front.
+func TestNodeLimit(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("func big {\nentry:\n\tv = load V[0]\n")
+	for i := 0; i <= exact.NodeLimit; i++ {
+		fmt.Fprintf(&b, "\tx%d = addi v, %d\n", i, i)
+	}
+	b.WriteString("}\n")
+	g := buildGraph(t, b.String())
+	if _, err := exact.Solve(g, machine.VLIW(2, 64), exact.Options{}); !errors.Is(err, exact.ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}

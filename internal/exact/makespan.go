@@ -1,0 +1,628 @@
+package exact
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"ursa/internal/dag"
+	"ursa/internal/machine"
+	"ursa/internal/sched"
+)
+
+// Makespan computes a schedule of provably minimum length for the DAG on
+// the machine: dependences wait the full latency of their source (the
+// same rule sched.List and sched.Validate enforce, for every edge kind)
+// and no cycle over-subscribes a functional-unit class, with units held
+// for OccupancyOf cycles. The list schedule seeds the incumbent; a
+// cycle-stepping branch-and-bound over issue subsets then proves it
+// optimal or strictly improves it, so when list scheduling is already
+// optimal the returned schedule is byte-identical to sched.List's.
+func Makespan(g *dag.Graph, m *machine.Config, opts Options) (*sched.Schedule, error) {
+	instrs := g.InstrNodes()
+	if len(instrs) > NodeLimit {
+		return nil, ErrTooLarge
+	}
+	ub, err := sched.List(g, m, sched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if len(instrs) == 0 {
+		return ub, nil
+	}
+	s, err := newMakespanSearch(g, m, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	s.best = ub.Cycles
+	if s.rootLB() >= s.best {
+		return ub, nil // the list schedule meets a proven lower bound
+	}
+	rem := make([]int8, s.n)
+	if err := s.expand(0, 0, 0, rem); err != nil {
+		return nil, err
+	}
+	if s.bestStart == nil {
+		return ub, nil // the search proved the list schedule optimal
+	}
+	return s.buildSchedule()
+}
+
+// minWordsProg computes the minimum word count in the looser program
+// model emitted code obeys (see assign's packPhys): a branch may issue
+// in the same word as the last non-branch instruction, waiting only for
+// its operands to finish, and a store may issue one cycle after a load
+// it overwrites rather than after the load completes. Every compiled
+// program of the block has at least this many words — spill patching
+// only adds instructions, which tightens the projection onto the
+// original ones — so this is the sound universal lower bound heuristic
+// word counts are compared against. strictWords, the classic-model
+// optimum, seeds the incumbent: every strict schedule is
+// program-feasible, so the program optimum never exceeds it.
+func minWordsProg(g *dag.Graph, m *machine.Config, strictWords int, opts Options) (int, error) {
+	s, err := newMakespanSearch(g, m, opts, true)
+	if err != nil {
+		return 0, err
+	}
+	if s.n == 0 {
+		return s.brLat, nil // branch-only block: the branch issues at cycle 0
+	}
+	s.best = strictWords
+	if s.rootLB() >= s.best {
+		return s.best, nil
+	}
+	rem := make([]int8, s.n)
+	if err := s.expand(0, 0, 0, rem); err != nil {
+		return 0, err
+	}
+	return s.best, nil
+}
+
+// isWARedge reports whether the DAG edge p→n is a memory anti-dependence
+// from a load to a store, the one ordering the program model relaxes to
+// "the store issues at least one cycle after the load".
+func isWARedge(g *dag.Graph, p, n int) bool {
+	pi, ni := g.Nodes[p].Instr, g.Nodes[n].Instr
+	if pi == nil || ni == nil || !pi.IsMem() || pi.IsStore() || !ni.IsStore() {
+		return false
+	}
+	k, _ := g.EdgeKindOf(p, n)
+	return k == dag.EdgeMem
+}
+
+// mKey identifies a search state up to a time shift: which nodes have
+// issued plus, for each, its remaining latency (4 bits per node).
+type mKey struct {
+	issued uint64
+	a, b   uint64
+}
+
+type makespanSearch struct {
+	opts   Options
+	budget int
+	states int
+
+	g    *dag.Graph
+	m    *machine.Config
+	n    int
+	full uint64
+
+	node    []int             // bit -> node id
+	lat     []int             // bit -> latency
+	occ     []int             // bit -> unit occupancy
+	class   []machine.FUClass // bit -> FU class
+	classes []machine.FUClass // deterministic class order
+	units   map[machine.FUClass]int
+	preds   [][]int // bit -> predecessor bits that must have finished
+	topo    []int   // bits in topological order
+	tail    []int   // bit -> longest latency path to the end, incl. own
+
+	// Program-model relaxation (minWordsProg only). predsIss holds
+	// predecessors that need only have issued on an earlier cycle (memory
+	// WAR: store after load). Branch nodes are excluded from the search
+	// and accounted at terminal states: the branch issues at the latest
+	// issue cycle, or later if its operands finish later.
+	relax       bool
+	predsIss    [][]int
+	hasBranch   bool
+	brLat       int    // latency of the excluded branch
+	brDataPreds uint64 // bits whose results the branch reads
+
+	best      int   // incumbent makespan (strict improvements only)
+	bestStart []int // bit -> issue cycle of the improved incumbent
+	start     []int // bit -> issue cycle along the current DFS path
+
+	memo map[mKey]int32 // earliest time each state was reached
+}
+
+func newMakespanSearch(g *dag.Graph, m *machine.Config, opts Options, relax bool) (*makespanSearch, error) {
+	var instrs, branches []int
+	for _, id := range g.InstrNodes() {
+		if relax && g.Nodes[id].Instr.IsBranch() {
+			branches = append(branches, id)
+			continue
+		}
+		instrs = append(instrs, id)
+	}
+	n := len(instrs)
+	bitOf := map[int]int{}
+	for i, id := range instrs {
+		bitOf[id] = i
+	}
+	s := &makespanSearch{
+		opts:    opts,
+		budget:  opts.budget(),
+		g:       g,
+		m:       m,
+		n:       n,
+		full:    (uint64(1) << n) - 1,
+		node:    instrs,
+		lat:     make([]int, n),
+		occ:     make([]int, n),
+		class:   make([]machine.FUClass, n),
+		classes: m.FUClasses(),
+		units:   map[machine.FUClass]int{},
+		preds:   make([][]int, n),
+		tail:    make([]int, n),
+		start:   make([]int, n),
+		memo:    map[mKey]int32{},
+
+		relax:     relax,
+		predsIss:  make([][]int, n),
+		hasBranch: len(branches) > 0,
+	}
+	for _, id := range branches {
+		if lt := m.LatencyOf(g.Nodes[id].Instr.Op); lt > s.brLat {
+			s.brLat = lt
+		}
+		for _, p := range g.Preds(id) {
+			if j, ok := bitOf[p]; ok {
+				if k, _ := g.EdgeKindOf(p, id); k == dag.EdgeData {
+					s.brDataPreds |= 1 << j
+				}
+			}
+		}
+	}
+	for _, cl := range s.classes {
+		s.units[cl] = m.Units[cl]
+	}
+	for i, id := range instrs {
+		in := g.Nodes[id].Instr
+		s.lat[i] = m.LatencyOf(in.Op)
+		s.occ[i] = m.OccupancyOf(in.Op)
+		s.class[i] = m.ClassFor(in.Kind())
+		if s.lat[i] > 15 {
+			return nil, fmt.Errorf("exact: latency %d exceeds state encoding: %w", s.lat[i], ErrTooLarge)
+		}
+		for _, p := range g.Preds(id) {
+			j, ok := bitOf[p]
+			if !ok {
+				continue
+			}
+			if relax && isWARedge(g, p, id) {
+				s.predsIss[i] = append(s.predsIss[i], j)
+			} else {
+				s.preds[i] = append(s.preds[i], j)
+			}
+		}
+	}
+	for _, id := range instrTopo(g) {
+		if i, ok := bitOf[id]; ok {
+			s.topo = append(s.topo, i)
+		}
+	}
+	for k := len(s.topo) - 1; k >= 0; k-- {
+		i := s.topo[k]
+		s.tail[i] = s.lat[i]
+		for _, id := range g.Succs(s.node[i]) {
+			j, ok := bitOf[id]
+			if !ok {
+				continue
+			}
+			d := s.lat[i]
+			if relax && isWARedge(g, s.node[i], id) {
+				d = 1
+			}
+			if d+s.tail[j] > s.tail[i] {
+				s.tail[i] = d + s.tail[j]
+			}
+		}
+	}
+	if s.hasBranch {
+		// The branch issues no earlier than any other instruction, and no
+		// earlier than its operands finish, so it extends every tail.
+		for i := 0; i < n; i++ {
+			ex := s.brLat
+			if s.brDataPreds&(1<<i) != 0 {
+				ex += s.lat[i]
+			}
+			if ex > s.tail[i] {
+				s.tail[i] = ex
+			}
+		}
+	}
+	return s, nil
+}
+
+// rootLB is the static lower bound: the latency-weighted critical path
+// and, per class, the occupancy volume spread over its units.
+func (s *makespanSearch) rootLB() int {
+	lb := 0
+	for i := 0; i < s.n; i++ {
+		if len(s.preds[i]) == 0 && s.tail[i] > lb {
+			lb = s.tail[i]
+		}
+	}
+	work := map[machine.FUClass]int{}
+	for i := 0; i < s.n; i++ {
+		work[s.class[i]] += s.occ[i]
+	}
+	for cl, w := range work {
+		if u := s.units[cl]; u > 0 {
+			if b := (w + u - 1) / u; b > lb {
+				lb = b
+			}
+		}
+	}
+	return lb
+}
+
+func (s *makespanSearch) key(issued uint64, rem []int8) mKey {
+	k := mKey{issued: issued}
+	for i := 0; i < s.n && i < 15; i++ {
+		k.a |= uint64(rem[i]) << (4 * i)
+	}
+	for i := 15; i < s.n; i++ {
+		k.b |= uint64(rem[i]) << (4 * (i - 15))
+	}
+	return k
+}
+
+// lb bounds the best completion from this state: every in-flight node
+// must finish, every unissued node must wait for its predecessors and
+// then its tail, and each class must fit its remaining occupancy volume.
+func (s *makespanSearch) lb(t int, issued, finished uint64, rem []int8) int {
+	lb := t
+	est := make([]int, s.n)
+	for _, i := range s.topo {
+		if issued&(1<<i) != 0 {
+			if rem[i] > 0 && t+int(rem[i]) > lb {
+				lb = t + int(rem[i])
+			}
+			continue
+		}
+		est[i] = t
+		for _, p := range s.preds[i] {
+			var fin int
+			switch {
+			case finished&(1<<p) != 0:
+				continue // finished at or before t
+			case issued&(1<<p) != 0:
+				fin = t + int(rem[p])
+			default:
+				fin = est[p] + s.lat[p]
+			}
+			if fin > est[i] {
+				est[i] = fin
+			}
+		}
+		for _, p := range s.predsIss[i] {
+			// WAR: the store issues the cycle after the load; once the
+			// load has issued the constraint is already met.
+			if issued&(1<<p) == 0 && est[p]+1 > est[i] {
+				est[i] = est[p] + 1
+			}
+		}
+		if est[i]+s.tail[i] > lb {
+			lb = est[i] + s.tail[i]
+		}
+	}
+	if s.hasBranch {
+		// lb runs only at non-terminal states, so some node has yet to
+		// issue at ≥ t and the branch must issue no earlier than it.
+		if t+s.brLat > lb {
+			lb = t + s.brLat
+		}
+		for i := 0; i < s.n; i++ {
+			if s.brDataPreds&(1<<i) == 0 {
+				continue
+			}
+			bit := uint64(1) << i
+			var fin int
+			switch {
+			case issued&bit == 0:
+				fin = est[i] + s.lat[i]
+			case rem[i] > 0:
+				fin = t + int(rem[i])
+			default:
+				continue
+			}
+			if fin+s.brLat > lb {
+				lb = fin + s.brLat
+			}
+		}
+	}
+	work := map[machine.FUClass]int{}
+	for i := 0; i < s.n; i++ {
+		bit := uint64(1) << i
+		switch {
+		case issued&bit == 0:
+			work[s.class[i]] += s.occ[i]
+		case !s.m.Pipelined && rem[i] > 0:
+			work[s.class[i]] += int(rem[i])
+		}
+	}
+	for cl, w := range work {
+		if u := s.units[cl]; u > 0 {
+			if b := t + (w+u-1)/u; b > lb {
+				lb = b
+			}
+		}
+	}
+	return lb
+}
+
+// readyNode reports whether unissued node i may issue at the current
+// decision time: finish-type predecessors have completed, and
+// issued-earlier (WAR) predecessors issued on a previous cycle.
+func (s *makespanSearch) readyNode(i int, issued, finished uint64) bool {
+	for _, p := range s.preds[i] {
+		if finished&(1<<p) == 0 {
+			return false
+		}
+	}
+	for _, p := range s.predsIss[i] {
+		if issued&(1<<p) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// expand branches on the set of ready nodes issued at decision time t.
+func (s *makespanSearch) expand(t int, issued, finished uint64, rem []int8) error {
+	if issued == s.full {
+		ms := t
+		for i := 0; i < s.n; i++ {
+			if f := t + int(rem[i]); rem[i] > 0 && f > ms {
+				ms = f
+			}
+		}
+		if s.hasBranch {
+			// Place the excluded branch: same word as the latest issue,
+			// or when the last of its operands finishes.
+			br := 0
+			for i := 0; i < s.n; i++ {
+				if s.start[i] > br {
+					br = s.start[i]
+				}
+				if s.brDataPreds&(1<<i) != 0 && s.start[i]+s.lat[i] > br {
+					br = s.start[i] + s.lat[i]
+				}
+			}
+			if br+s.brLat > ms {
+				ms = br + s.brLat
+			}
+		}
+		if ms < s.best {
+			s.best = ms
+			s.bestStart = append([]int(nil), s.start...)
+		}
+		return nil
+	}
+	s.states++
+	if s.states > s.budget {
+		return ErrBudget
+	}
+	if s.states&1023 == 0 {
+		if err := s.opts.ctx().Err(); err != nil {
+			return err
+		}
+	}
+	if s.lb(t, issued, finished, rem) >= s.best {
+		return nil
+	}
+	k := s.key(issued, rem)
+	if prev, ok := s.memo[k]; ok && int(prev) <= t {
+		return nil // same state reached no later before; futures coincide
+	}
+	s.memo[k] = int32(t)
+
+	// Ready nodes, grouped by class in deterministic order.
+	byClass := map[machine.FUClass][]int{}
+	for i := 0; i < s.n; i++ {
+		if issued&(1<<i) != 0 {
+			continue
+		}
+		if s.readyNode(i, issued, finished) {
+			byClass[s.class[i]] = append(byClass[s.class[i]], i)
+		}
+	}
+	free := map[machine.FUClass]int{}
+	for _, cl := range s.classes {
+		free[cl] = s.units[cl]
+	}
+	if !s.m.Pipelined {
+		for i := 0; i < s.n; i++ {
+			if issued&(1<<i) != 0 && rem[i] > 0 {
+				free[s.class[i]]--
+			}
+		}
+	}
+
+	// Enumerate per-class issue subsets (size ≤ free units) and take
+	// their cross product. The empty total subset models a deliberate
+	// stall and is legal only while something is in flight.
+	var subsets [][]uint64
+	canIssue := false
+	for _, cl := range s.classes {
+		cands := byClass[cl]
+		if len(cands) == 0 || free[cl] <= 0 {
+			subsets = append(subsets, []uint64{0})
+			continue
+		}
+		masks := issueSubsets(cands, free[cl])
+		if len(masks) > 1 {
+			canIssue = true
+		}
+		subsets = append(subsets, masks)
+	}
+
+	inflight := 0
+	minRem := 0
+	for i := 0; i < s.n; i++ {
+		if issued&(1<<i) != 0 && rem[i] > 0 {
+			inflight++
+			if minRem == 0 || int(rem[i]) < minRem {
+				minRem = int(rem[i])
+			}
+		}
+	}
+	if !canIssue {
+		// Nothing can issue now: jump to the next completion event.
+		if inflight == 0 {
+			return fmt.Errorf("exact: deadlock with %d nodes unissued", s.n-bits.OnesCount64(issued))
+		}
+		return s.step(t, minRem, issued, finished, rem, 0)
+	}
+
+	var combine func(ci int, mask uint64) error
+	combine = func(ci int, mask uint64) error {
+		if ci == len(subsets) {
+			if mask == 0 {
+				if inflight == 0 {
+					return nil // idling forever cannot be optimal
+				}
+				// Stall one cycle; issuing later may still differ.
+				return s.step(t, 1, issued, finished, rem, 0)
+			}
+			return s.step(t, 1, issued, finished, rem, mask)
+		}
+		for _, sm := range subsets[ci] {
+			if err := combine(ci+1, mask|sm); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return combine(0, 0)
+}
+
+// step issues the nodes in mask at time t, advances delta cycles, and
+// recurses into the resulting state.
+func (s *makespanSearch) step(t, delta int, issued, finished uint64, rem []int8, mask uint64) error {
+	rem2 := append([]int8(nil), rem...)
+	issued2 := issued | mask
+	for mm := mask; mm != 0; mm &= mm - 1 {
+		i := bits.TrailingZeros64(mm)
+		rem2[i] = int8(s.lat[i])
+		s.start[i] = t
+	}
+	if issued2 != s.full && mask != 0 {
+		// After issuing, only completions change the ready set (a WAR
+		// successor of a just-issued load counts: it is ready one cycle
+		// later); if no ready node remains, skip to the next completion.
+		remReady := false
+		for i := 0; i < s.n && !remReady; i++ {
+			if issued2&(1<<i) == 0 && s.readyNode(i, issued2, finished) {
+				remReady = true
+			}
+		}
+		if !remReady {
+			delta = 0
+			for i := 0; i < s.n; i++ {
+				if issued2&(1<<i) != 0 && rem2[i] > 0 && (delta == 0 || int(rem2[i]) < delta) {
+					delta = int(rem2[i])
+				}
+			}
+		}
+	}
+	finished2 := finished
+	for i := 0; i < s.n; i++ {
+		if issued2&(1<<i) == 0 || rem2[i] == 0 {
+			continue
+		}
+		if int(rem2[i]) <= delta {
+			rem2[i] = 0
+			finished2 |= 1 << i
+		} else {
+			rem2[i] -= int8(delta)
+		}
+	}
+	return s.expand(t+delta, issued2, finished2, rem2)
+}
+
+// issueSubsets returns every subset of cands with at most limit members,
+// as bitmasks, in deterministic order (larger subsets first so the
+// search reaches full-issue incumbents early).
+func issueSubsets(cands []int, limit int) []uint64 {
+	var out []uint64
+	var rec func(idx int, size int, mask uint64)
+	rec = func(idx int, size int, mask uint64) {
+		if idx == len(cands) {
+			out = append(out, mask)
+			return
+		}
+		if size < limit {
+			rec(idx+1, size+1, mask|1<<cands[idx])
+		}
+		rec(idx+1, size, mask)
+	}
+	rec(0, 0, 0)
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := bits.OnesCount64(out[i]), bits.OnesCount64(out[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// buildSchedule turns the improved incumbent's start times into a
+// Schedule, assigning units within each class lowest-free-first.
+func (s *makespanSearch) buildSchedule() (*sched.Schedule, error) {
+	var ps []sched.Placement
+	cycles := 0
+	for _, cl := range s.classes {
+		var members []int
+		for i := 0; i < s.n; i++ {
+			if s.class[i] == cl {
+				members = append(members, i)
+			}
+		}
+		sort.Slice(members, func(a, b int) bool {
+			if s.bestStart[members[a]] != s.bestStart[members[b]] {
+				return s.bestStart[members[a]] < s.bestStart[members[b]]
+			}
+			return members[a] < members[b]
+		})
+		busy := make([]int, s.units[cl])
+		for _, i := range members {
+			at := s.bestStart[i]
+			unit := -1
+			for u := range busy {
+				if busy[u] <= at {
+					unit = u
+					break
+				}
+			}
+			if unit < 0 {
+				return nil, fmt.Errorf("exact: no free %v unit at cycle %d", cl, at)
+			}
+			busy[unit] = at + s.occ[i]
+			ps = append(ps, sched.Placement{Node: s.node[i], Cycle: at, Class: cl, Unit: unit})
+			if at+s.lat[i] > cycles {
+				cycles = at + s.lat[i]
+			}
+		}
+	}
+	out := sched.FromPlacements(s.g, s.m, ps)
+	if out.Cycles != cycles {
+		return nil, fmt.Errorf("exact: rebuilt schedule spans %d cycles, search says %d", out.Cycles, cycles)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("exact: optimal schedule invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,288 @@
+package exact
+
+import (
+	"math/bits"
+	"sort"
+
+	"ursa/internal/dag"
+	"ursa/internal/ir"
+)
+
+// MinPressure computes the minimum number of class-c registers any legal
+// program for the DAG needs. The model is the emitters': execution is a
+// sequence of words, each an antichain of ready operations; reads happen
+// at issue and writes at the end of the word, so a word's results may
+// take over the registers of every value that word (or an earlier one)
+// killed — including several at once. Pressure is therefore sampled only
+// at word boundaries: the values defined so far that still have a
+// pending consumer, plus live-outs. Minimizing over word partitions
+// rather than linearizations matters: two independent ops that jointly
+// kill their shared operands can issue in one word and land strictly
+// below every sequential order's peak
+// (testdata/fuzz/minpressure-parallel-reuse.ursafuzz pins an instance).
+//
+// The search is a memoized DFS over downsets of the DAG restricted to
+// the class-relevant nodes (defs and uses of class-c values): the live
+// set at a boundary S is a function of S alone, so
+//
+//	f(S) = min over addable words A of max(live(S∪A), f(S∪A))
+//
+// is an exact DP. Words are restricted to sets connected under shared
+// consumed values: an arbitrary word splits into such components, and
+// issuing them as separate words in ascending order of their live-count
+// delta keeps every intermediate boundary at or below the larger
+// endpoint, so the restriction loses nothing. Children are tried in
+// ascending order of their live count, which lets the search skip every
+// sibling once one branch achieves that bound — the memo stays exact
+// because any skipped child can only tie or lose.
+func MinPressure(g *dag.Graph, c ir.Class, opts Options) (int, error) {
+	instrs := g.InstrNodes()
+	if len(instrs) > NodeLimit {
+		return 0, ErrTooLarge
+	}
+	p := newPressureSearch(g, c, opts)
+	if p.relevant == 0 {
+		return p.liveIns, nil
+	}
+	best, err := p.solve(0, p.liveIns)
+	if err != nil {
+		return 0, err
+	}
+	return max(best, p.liveIns), nil
+}
+
+// pValue is one class-c value: its defining bit (or -1 for a live-in),
+// the bits of its consumers, and whether it survives the block.
+type pValue struct {
+	def     int // bit index of the defining node; -1 for live-ins
+	users   uint64
+	liveOut bool
+}
+
+type pressureSearch struct {
+	opts   Options
+	budget int
+	states int
+
+	// Bit i corresponds to the i-th instruction node (ascending id).
+	relevant  uint64   // nodes that define or use class-c values
+	predMask  []uint64 // per bit: relevant ancestors (closure ∩ relevant)
+	defVal    []int    // per bit: value index defined, or -1
+	usesOf    [][]int  // per bit: distinct value indices consumed
+	shareMask []uint64 // per bit: nodes consuming a value this one consumes
+	vals      []pValue
+	liveIns   int // class-c values live on entry (none for pipeline blocks)
+
+	memo map[uint64]int8
+}
+
+func newPressureSearch(g *dag.Graph, c ir.Class, opts Options) *pressureSearch {
+	instrs := g.InstrNodes()
+	n := len(instrs)
+	bitOf := map[int]int{}
+	for i, id := range instrs {
+		bitOf[id] = i
+	}
+	p := &pressureSearch{
+		opts:     opts,
+		budget:   opts.budget(),
+		predMask: make([]uint64, n),
+		defVal:   make([]int, n),
+		usesOf:   make([][]int, n),
+		memo:     map[uint64]int8{},
+	}
+	f := g.Func
+
+	// Collect class-c values in deterministic (node, then register) order.
+	valOf := map[ir.VReg]int{}
+	value := func(v ir.VReg) int {
+		i, ok := valOf[v]
+		if !ok {
+			i = len(p.vals)
+			valOf[v] = i
+			p.vals = append(p.vals, pValue{def: -1, liveOut: g.LiveOut[v]})
+		}
+		return i
+	}
+	for i, id := range instrs {
+		in := g.Nodes[id].Instr
+		p.defVal[i] = -1
+		if in.Dst != ir.NoReg && f.ClassOf(in.Dst) == c {
+			vi := value(in.Dst)
+			p.vals[vi].def = i
+			p.defVal[i] = vi
+		}
+	}
+	for i, id := range instrs {
+		in := g.Nodes[id].Instr
+		seen := map[ir.VReg]bool{}
+		for _, u := range in.Uses() {
+			if f.ClassOf(u) != c || seen[u] {
+				continue
+			}
+			seen[u] = true
+			vi := value(u)
+			p.vals[vi].users |= 1 << i
+			p.usesOf[i] = append(p.usesOf[i], vi)
+		}
+	}
+	for _, v := range p.vals {
+		if v.def < 0 {
+			p.liveIns++
+		}
+	}
+	p.shareMask = make([]uint64, n)
+	for _, v := range p.vals {
+		for u := v.users; u != 0; u &= u - 1 {
+			i := bits.TrailingZeros64(u)
+			p.shareMask[i] |= v.users &^ (1 << i)
+		}
+	}
+
+	// Relevant nodes and the precedence closure among them: a node that
+	// neither defines nor uses a class-c value never changes the live
+	// set, so only the relevant nodes' relative order matters and the
+	// search runs over downsets of the projected poset.
+	for i := range p.defVal {
+		if p.defVal[i] >= 0 || len(p.usesOf[i]) > 0 {
+			p.relevant |= 1 << i
+		}
+	}
+	anc := make([]uint64, n)
+	for _, id := range instrTopo(g) {
+		i := bitOf[id]
+		isBranch := g.Nodes[id].Instr.IsBranch()
+		for _, pr := range g.Preds(id) {
+			j, ok := bitOf[pr]
+			if !ok {
+				continue
+			}
+			// Branch-last sequence edges are control artifacts the
+			// emitters may relax (spill patching places the branch in
+			// the final word, beside instructions the DAG orders before
+			// it), so the lower bound must not assume them. The
+			// branch's data and memory dependences remain.
+			if isBranch {
+				if k, _ := g.EdgeKindOf(pr, id); k == dag.EdgeSeq {
+					continue
+				}
+			}
+			anc[i] |= 1<<j | anc[j]
+		}
+	}
+	for i := range p.predMask {
+		p.predMask[i] = anc[i] & p.relevant
+	}
+	return p
+}
+
+// delta returns the change in boundary-live values when word A (an
+// addable set) executes after downset S: +1 per class-c def that still
+// has a pending consumer or survives the block, −1 per consumed value
+// whose remaining consumers all sit in A (unless it is live-out). A def
+// nobody reads never crosses a boundary — its register is reusable by
+// the very next word — so it contributes nothing.
+func (p *pressureSearch) delta(S, A uint64) int {
+	d := 0
+	after := S | A
+	for a := A; a != 0; a &= a - 1 {
+		x := bits.TrailingZeros64(a)
+		if vi := p.defVal[x]; vi >= 0 && (p.vals[vi].users != 0 || p.vals[vi].liveOut) {
+			d++
+		}
+		for _, vi := range p.usesOf[x] {
+			v := &p.vals[vi]
+			if !v.liveOut && v.users&^after == 0 && v.users&a&^(1<<x) == 0 {
+				d-- // x is the highest-bit consumer in A: count the kill once
+			}
+		}
+	}
+	return d
+}
+
+// solve returns the minimum achievable peak boundary-live count over all
+// word-partitioned completions of downset S, given live = live(S).
+func (p *pressureSearch) solve(S uint64, live int) (int, error) {
+	if S == p.relevant {
+		return 0, nil
+	}
+	if v, ok := p.memo[S]; ok {
+		return int(v), nil
+	}
+	p.states++
+	if p.states > p.budget {
+		return 0, ErrBudget
+	}
+	if p.states&1023 == 0 {
+		if err := p.opts.ctx().Err(); err != nil {
+			return 0, err
+		}
+	}
+
+	var addable uint64
+	for rest := p.relevant &^ S; rest != 0; rest &= rest - 1 {
+		x := bits.TrailingZeros64(rest)
+		if S&p.predMask[x] == p.predMask[x] {
+			addable |= 1 << x
+		}
+	}
+
+	// Candidate words: the subsets of the addable set connected under
+	// shared consumed values, each enumerated once by anchoring at its
+	// lowest member and extending only upward through the sharing graph
+	// (with the visited-extension exclusion that makes the walk
+	// duplicate-free). Every enumerated word counts against the state
+	// budget, so dense sharing degrades to ErrBudget, never to a hang.
+	type child struct {
+		A    uint64
+		live int
+	}
+	var cs []child
+	var grow func(A, ext, forb uint64) error
+	grow = func(A, ext, forb uint64) error {
+		p.states++
+		if p.states > p.budget {
+			return ErrBudget
+		}
+		cs = append(cs, child{A, live + p.delta(S, A)})
+		for e := ext; e != 0; {
+			x := bits.TrailingZeros64(e)
+			e &^= 1 << x
+			next := (e | p.shareMask[x]&addable) &^ (A | forb | 1<<x)
+			if err := grow(A|1<<x, next, forb); err != nil {
+				return err
+			}
+			forb |= 1 << x
+		}
+		return nil
+	}
+	for rest := addable; rest != 0; rest &= rest - 1 {
+		s := bits.TrailingZeros64(rest)
+		above := ^uint64(0) << (s + 1)
+		if err := grow(1<<s, p.shareMask[s]&addable&above, ^above); err != nil {
+			return 0, err
+		}
+	}
+
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].live != cs[j].live {
+			return cs[i].live < cs[j].live
+		}
+		return cs[i].A < cs[j].A
+	})
+	best := int(^uint(0) >> 1)
+	for _, ch := range cs {
+		if ch.live >= best {
+			break // sorted ascending: no remaining child can improve
+		}
+		sub, err := p.solve(S|ch.A, ch.live)
+		if err != nil {
+			return 0, err
+		}
+		if v := max(ch.live, sub); v < best {
+			best = v
+		}
+	}
+	p.memo[S] = int8(best)
+	return best, nil
+}

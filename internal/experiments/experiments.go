@@ -90,6 +90,7 @@ func All() []Experiment {
 		{"T11", T11OptimizerAblation},
 		{"T12", T12SuperscalarInOrder},
 		{"T13", T13PrioritizedMatching},
+		{"T14", T14HeuristicGap},
 	}
 }
 

@@ -291,6 +291,11 @@ type Histogram struct {
 // sub-millisecond block compiles up to multi-second batch jobs.
 var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 
+// GapBuckets suits heuristic-versus-optimal gap histograms (whole words
+// or registers): most gaps are zero or a small integer, with a long tail
+// on adversarial blocks.
+var GapBuckets = []float64{0, 1, 2, 3, 5, 8, 13, 21, 34}
+
 // Histogram registers and returns a new histogram with the given upper
 // bounds (nil means DefBuckets). Bounds must be strictly ascending.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {

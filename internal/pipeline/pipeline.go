@@ -22,6 +22,7 @@ import (
 	"ursa/internal/assign"
 	"ursa/internal/core"
 	"ursa/internal/dag"
+	"ursa/internal/exact"
 	"ursa/internal/ir"
 	"ursa/internal/machine"
 	"ursa/internal/opt"
@@ -40,10 +41,22 @@ const (
 	Prepass
 	Postpass
 	IntegratedList
+	// Exact is the optimal lane: a branch-and-bound solver proves the
+	// minimum resource-feasible schedule length and emits it. It only
+	// accepts blocks of at most exact.NodeLimit instructions (Compile
+	// returns exact.ErrTooLarge beyond that), so it is listed in
+	// AllMethods, not in the unguarded Methods the benchmarks sweep.
+	Exact
 )
 
-// Methods lists all pipelines in presentation order.
+// Methods lists the heuristic pipelines in presentation order; every
+// block they accept compiles, so benchmarks and experiments sweep them
+// freely.
 var Methods = []Method{URSA, Prepass, Postpass, IntegratedList}
+
+// AllMethods additionally lists the node-count-guarded Exact lane; it is
+// the full set servable by ursad and checkable by the oracles.
+var AllMethods = []Method{URSA, Prepass, Postpass, IntegratedList, Exact}
 
 // String returns the pipeline name.
 func (m Method) String() string {
@@ -56,6 +69,8 @@ func (m Method) String() string {
 		return "postpass"
 	case IntegratedList:
 		return "integrated-list"
+	case Exact:
+		return "exact"
 	}
 	return fmt.Sprintf("method(%d)", uint8(m))
 }
@@ -198,6 +213,28 @@ func Compile(b *ir.Block, m *machine.Config, method Method, opts Options) (*assi
 		if err != nil {
 			// [GoH88] has no spill mechanism; fall back to patching like
 			// the prepass pipeline so code is still emitted.
+			prog, err = assign.EmitWithSpills(s, m)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+
+	case Exact:
+		g, err := dag.Build(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The solver enforces the exact.NodeLimit node-count guard and
+		// honors opts.Ctx, so an adversarial block cancels promptly.
+		s, err := exact.Makespan(g, m, exact.Options{Ctx: opts.Ctx})
+		if err != nil {
+			return nil, nil, fmt.Errorf("pipeline: exact: %w", err)
+		}
+		prog, err = assign.Registers(s, m)
+		if err != nil {
+			// The length-optimal schedule may need more registers than
+			// the machine has; patch spills like the prepass pipeline so
+			// code is still emitted (words then exceed the bound).
 			prog, err = assign.EmitWithSpills(s, m)
 			if err != nil {
 				return nil, nil, err

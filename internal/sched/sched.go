@@ -211,6 +211,32 @@ func List(g *dag.Graph, m *machine.Config, opts Options) (*Schedule, error) {
 	return sched, nil
 }
 
+// FromPlacements builds a Schedule from explicit placements computed
+// outside the list scheduler (e.g. by the exact solver): it orders them
+// canonically by (cycle, class, unit), indexes them, and derives the
+// makespan from issue cycles and latencies. The caller is responsible
+// for legality; Validate checks it.
+func FromPlacements(g *dag.Graph, m *machine.Config, ps []Placement) *Schedule {
+	s := &Schedule{Graph: g, Machine: m, Placements: ps, placeOf: make(map[int]int)}
+	sort.Slice(s.Placements, func(i, j int) bool {
+		a, b := s.Placements[i], s.Placements[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Unit < b.Unit
+	})
+	for i, p := range s.Placements {
+		s.placeOf[p.Node] = i
+		if end := p.Cycle + m.LatencyOf(g.Nodes[p.Node].Instr.Op); end > s.Cycles {
+			s.Cycles = end
+		}
+	}
+	return s
+}
+
 func freeUnit(busy []int, cycle int) int {
 	for u, until := range busy {
 		if until <= cycle {

@@ -111,8 +111,13 @@ type CompileRequest struct {
 
 	Machine MachineSpec `json:"machine,omitempty"`
 	// Method is the pipeline: ursa (default), prepass, postpass,
-	// integrated-list.
+	// integrated-list, or exact (the node-count-guarded optimal lane).
 	Method string `json:"method,omitempty"`
+	// Gap additionally runs the exact solver on every block and reports
+	// how far the chosen method landed from the proven optima (see
+	// GapJSON). Blocks beyond the solver's limits mark the report skipped
+	// rather than failing the request.
+	Gap bool `json:"gap,omitempty"`
 	// Optimize runs the scalar optimizations before compiling.
 	Optimize bool `json:"optimize,omitempty"`
 	// Workers bounds per-request block-level parallelism; 0 means
@@ -180,12 +185,12 @@ func (cr *CompileRequest) method() (pipeline.Method, error) {
 	if cr.Method == "" {
 		return pipeline.URSA, nil
 	}
-	for _, m := range pipeline.Methods {
+	for _, m := range pipeline.AllMethods {
 		if m.String() == cr.Method {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown method %q (want ursa, prepass, postpass, or integrated-list)", cr.Method)
+	return 0, fmt.Errorf("unknown method %q (want ursa, prepass, postpass, integrated-list, or exact)", cr.Method)
 }
 
 // BlockListing is one compiled basic block's VLIW words, rendered exactly
@@ -276,6 +281,24 @@ type CacheDelta struct {
 	Artifacts *store.TierStats `json:"artifacts,omitempty"`
 }
 
+// GapJSON quantifies how far the chosen method landed from the exact
+// solver's proven optima, aggregated over the function's blocks the way
+// Stats aggregates (words sum, register pressure maxes). Present only
+// when the request set "gap": true. When any block exceeds the solver's
+// node limit or search budget, Skipped carries the refusal and the
+// numeric fields are absent. WordsGap compares against the program-model
+// minimum, so it is nonnegative for every method; the register gaps may
+// go negative when spill code trades registers for memory traffic.
+type GapJSON struct {
+	ExactWords   int    `json:"exact_words,omitempty"`
+	ExactIntRegs int    `json:"exact_int_regs,omitempty"`
+	ExactFPRegs  int    `json:"exact_fp_regs,omitempty"`
+	WordsGap     int    `json:"words_gap"`
+	IntRegsGap   int    `json:"int_regs_gap"`
+	FPRegsGap    int    `json:"fp_regs_gap"`
+	Skipped      string `json:"skipped,omitempty"`
+}
+
 // CompileResponse is POST /v1/compile's body.
 type CompileResponse struct {
 	Name      string         `json:"name,omitempty"`
@@ -283,6 +306,7 @@ type CompileResponse struct {
 	Machine   string         `json:"machine"`
 	Blocks    []BlockListing `json:"blocks"`
 	Stats     StatsJSON      `json:"stats"`
+	Gap       *GapJSON       `json:"gap,omitempty"`
 	Run       *RunJSON       `json:"run,omitempty"`
 	Cache     CacheDelta     `json:"cache"`
 	ElapsedMS float64        `json:"elapsed_ms"`

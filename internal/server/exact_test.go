@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ursa/internal/store"
+)
+
+// TestCompileExactMethod: the guarded exact lane is a first-class
+// pipeline on the wire, and on the paper example (well under the node
+// limit) it must succeed and emit no more words than the default method.
+func TestCompileExactMethod(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var exact, ursa CompileResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/compile", CompileRequest{Method: "exact"}, &exact); code != http.StatusOK {
+		t.Fatalf("exact compile: %d\n%s", code, raw)
+	}
+	if exact.Method != "exact" {
+		t.Fatalf("method = %q; want exact", exact.Method)
+	}
+	if code, raw := postJSON(t, ts.URL+"/v1/compile", CompileRequest{Method: "ursa"}, &ursa); code != http.StatusOK {
+		t.Fatalf("ursa compile: %d\n%s", code, raw)
+	}
+	if exact.Stats.Words > ursa.Stats.Words {
+		t.Errorf("exact lane emitted %d words, ursa %d; the optimal lane may not lose", exact.Stats.Words, ursa.Stats.Words)
+	}
+}
+
+// TestTwoDaemonExactByteIdentical is the exact lane's golden fleet
+// property: daemon A computes the optimal schedule, daemon B serves the
+// identical artifact from A's cache over the peer protocol without ever
+// running the solver.
+func TestTwoDaemonExactByteIdentical(t *testing.T) {
+	_, urlA := newCachedServer(t, nil)
+	peer, err := store.NewPeer(urlA, 0)
+	if err != nil {
+		t.Fatalf("NewPeer: %v", err)
+	}
+	_, urlB := newCachedServer(t, peer)
+
+	req := CompileRequest{Method: "exact", Machine: MachineSpec{Preset: "paper2x3"}}
+	var fromA, fromB CompileResponse
+	if code, raw := postJSON(t, urlA+"/v1/compile", req, &fromA); code != http.StatusOK {
+		t.Fatalf("compile on A: %d\n%s", code, raw)
+	}
+	if code, raw := postJSON(t, urlB+"/v1/compile", req, &fromB); code != http.StatusOK {
+		t.Fatalf("compile on B: %d\n%s", code, raw)
+	}
+	if fromB.Cache.Result != "peer" {
+		t.Fatalf("B served by %q; want peer", fromB.Cache.Result)
+	}
+	aBlocks, _ := json.Marshal(fromA.Blocks)
+	bBlocks, _ := json.Marshal(fromB.Blocks)
+	if !bytes.Equal(aBlocks, bBlocks) {
+		t.Errorf("peer-served exact listings differ:\nA %s\nB %s", aBlocks, bBlocks)
+	}
+	if fromA.Stats != fromB.Stats {
+		t.Errorf("peer-served stats %+v != origin stats %+v", fromB.Stats, fromA.Stats)
+	}
+}
+
+// TestCompileGapReport: "gap": true attaches the solver's verdict to the
+// response, and the heuristic can never beat the program-model optimum
+// on words.
+func TestCompileGapReport(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, method := range []string{"ursa", "exact"} {
+		var resp CompileResponse
+		if code, raw := postJSON(t, ts.URL+"/v1/compile", CompileRequest{Method: method, Gap: true}, &resp); code != http.StatusOK {
+			t.Fatalf("%s: %d\n%s", method, code, raw)
+		}
+		if resp.Gap == nil {
+			t.Fatalf("%s: gap requested but absent", method)
+		}
+		if resp.Gap.Skipped != "" {
+			t.Fatalf("%s: solver skipped the paper example: %s", method, resp.Gap.Skipped)
+		}
+		if resp.Gap.ExactWords <= 0 {
+			t.Errorf("%s: exact words = %d; want positive", method, resp.Gap.ExactWords)
+		}
+		if resp.Gap.WordsGap < 0 {
+			t.Errorf("%s: words gap %d is negative: emitted %d vs optimum %d",
+				method, resp.Gap.WordsGap, resp.Stats.Words, resp.Gap.ExactWords)
+		}
+		if got := resp.Stats.Words - resp.Gap.ExactWords; resp.Gap.WordsGap != got {
+			t.Errorf("%s: words gap %d inconsistent with stats (%d - %d)",
+				method, resp.Gap.WordsGap, resp.Stats.Words, resp.Gap.ExactWords)
+		}
+	}
+
+	// Without the flag the field stays absent.
+	var plain CompileResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/compile", CompileRequest{}, &plain); code != http.StatusOK {
+		t.Fatalf("plain: %d\n%s", code, raw)
+	}
+	if plain.Gap != nil {
+		t.Error("gap present without the request flag")
+	}
+}
+
+// TestGapMetricExposed: gap-enabled compiles feed the ursa_heuristic_gap
+// histogram on /metrics.
+func TestGapMetricExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var resp CompileResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/compile", CompileRequest{Gap: true}, &resp); code != http.StatusOK {
+		t.Fatalf("compile: %d\n%s", code, raw)
+	}
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer r.Body.Close()
+	body, _ := io.ReadAll(r.Body)
+	text := string(body)
+	for _, dim := range []string{"words", "intregs", "fpregs"} {
+		needle := `ursa_heuristic_gap_count{dimension="` + dim + `"} 1`
+		if !strings.Contains(text, needle) {
+			t.Errorf("metrics missing %q", needle)
+		}
+	}
+}

@@ -37,8 +37,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ursa/internal/dag"
 	"ursa/internal/driver"
+	"ursa/internal/exact"
 	"ursa/internal/ir"
+	"ursa/internal/machine"
 	"ursa/internal/measure"
 	"ursa/internal/metrics"
 	"ursa/internal/pipeline"
@@ -107,6 +110,7 @@ type Server struct {
 	mCompileOK  *metrics.CounterVec
 	mCompileErr *metrics.CounterVec
 	mServedBy   *metrics.CounterVec
+	mGap        *metrics.HistogramVec
 
 	// testHook, when non-nil, runs inside every compile request while it
 	// holds an admission slot — the package tests' lever for saturating
@@ -156,6 +160,7 @@ func New(cfg Config) *Server {
 	s.mCompileOK = r.CounterVec("ursad_compile_total", "successful compiles by pipeline method", "method")
 	s.mCompileErr = r.CounterVec("ursad_compile_errors_total", "failed compiles by pipeline method", "method")
 	s.mServedBy = r.CounterVec("ursad_artifact_served_total", "compile responses by serving cache tier (or \"compiled\")", "tier")
+	s.mGap = r.HistogramVec("ursa_heuristic_gap", "heuristic distance from the exact solver's proven optimum, by dimension (words, intregs, fpregs); observed on gap-enabled compiles", "dimension", metrics.GapBuckets)
 	r.Func("ursad_cache_hits_total", "measurement cache hits", "counter", func() float64 {
 		h, _ := s.cache.Stats()
 		return float64(h)
@@ -516,6 +521,9 @@ func (s *Server) compileOne(ctx context.Context, cr *CompileRequest) (*CompileRe
 		resp.Run = run
 	}
 	resp.Stats = statsJSON(st)
+	if cr.Gap {
+		resp.Gap = s.gapReport(ctx, f, m, st)
+	}
 
 	hits1, misses1 := s.cache.Stats()
 	resp.Cache = CacheDelta{Hits: hits1 - hits0, Misses: misses1 - misses0}
@@ -528,6 +536,52 @@ func (s *Server) compileOne(ctx context.Context, cr *CompileRequest) (*CompileRe
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	s.mCompileOK.With(method.String()).Inc()
 	return resp, nil
+}
+
+// gapReport runs the exact solver on every block of the function and
+// compares the compiled stats against the proven optima: words against
+// the summed program-model minima (the same aggregation Stats uses) and
+// per-class registers against the maximum block pressure. Solver
+// refusals — a block past the node limit, an exhausted search budget, or
+// the request deadline — mark the report skipped instead of failing the
+// request. Nonnegative gaps feed the ursa_heuristic_gap histogram.
+func (s *Server) gapReport(ctx context.Context, f *ir.Func, m *machine.Config, st *pipeline.Stats) *GapJSON {
+	words := 0
+	var pressure [ir.NumClasses]int
+	for i := range f.Blocks {
+		g, err := dag.Build(f.Blocks[i])
+		if err != nil {
+			return &GapJSON{Skipped: fmt.Sprintf("block %s: %v", f.Blocks[i].Label, err)}
+		}
+		res, err := exact.Solve(g, m, exact.Options{Ctx: ctx})
+		if err != nil {
+			return &GapJSON{Skipped: fmt.Sprintf("block %s: %v", f.Blocks[i].Label, err)}
+		}
+		words += res.MinWordsProg
+		for c := ir.Class(0); c < ir.NumClasses; c++ {
+			if res.MinPressure[c] > pressure[c] {
+				pressure[c] = res.MinPressure[c]
+			}
+		}
+	}
+	gap := &GapJSON{
+		ExactWords:   words,
+		ExactIntRegs: pressure[ir.ClassInt],
+		ExactFPRegs:  pressure[ir.ClassFP],
+		WordsGap:     st.Words - words,
+		IntRegsGap:   st.RegsUsed[ir.ClassInt] - pressure[ir.ClassInt],
+		FPRegsGap:    st.RegsUsed[ir.ClassFP] - pressure[ir.ClassFP],
+	}
+	observe := func(dim string, v int) {
+		if v < 0 {
+			v = 0 // spill code may dip below minimum pressure legitimately
+		}
+		s.mGap.With(dim).Observe(float64(v))
+	}
+	observe("words", gap.WordsGap)
+	observe("intregs", gap.IntRegsGap)
+	observe("fpregs", gap.FPRegsGap)
+	return gap
 }
 
 // listings renders every compiled block byte-identically to an in-process
@@ -757,6 +811,9 @@ func (s *Server) runBatch(ctx context.Context, br *BatchRequest) (*BatchResponse
 			s.mServedBy.With(tierLabel(out.Cached.Tier)).Inc()
 		case out.Prog != nil:
 			resp.Blocks = listings(preps[j].f, out.Prog)
+		}
+		if preps[j].req.Gap {
+			resp.Gap = s.gapReport(ctx, preps[j].f, jobs[j].Machine, out.Stats)
 		}
 		results[i] = BatchResult{CompileResponse: resp}
 	}

@@ -113,6 +113,10 @@ const (
 	// IntegratedList is register-pressure-sensitive list scheduling in the
 	// style of Goodman & Hsu.
 	IntegratedList = pipeline.IntegratedList
+	// Exact runs the branch-and-bound optimal solver; it refuses blocks
+	// over its node limit, so it is excluded from Methods sweeps and
+	// listed only in AllMethods.
+	Exact = pipeline.Exact
 )
 
 // Transformation-interleaving policies (paper §5).
@@ -125,8 +129,11 @@ const (
 	FUsFirst = core.FUsFirst
 )
 
-// Methods lists all pipelines in presentation order.
+// Methods lists all heuristic pipelines in presentation order.
 var Methods = pipeline.Methods
+
+// AllMethods additionally includes the node-count-guarded Exact lane.
+var AllMethods = pipeline.AllMethods
 
 // VLIW returns the paper's homogeneous machine model: width functional
 // units, regs registers in each register file, unit latencies.
