@@ -23,7 +23,9 @@ import (
 
 	"ursa/internal/core"
 	"ursa/internal/dag"
+	"ursa/internal/frontend"
 	"ursa/internal/machine"
+	"ursa/internal/modsched"
 	"ursa/internal/workload"
 )
 
@@ -86,6 +88,26 @@ func benchReduce(g *dag.Graph, m *machine.Config, opts core.Options) func(b *tes
 	}
 }
 
+// benchLoopPipeline times the whole modulo-scheduling transform of one
+// kernel — recognition, MII bounds, the II × blocking-factor search with
+// URSA's kernel measurement in the acceptance loop, and emission.
+func benchLoopPipeline(kernelName string, m *machine.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		k := workload.KernelByName(kernelName)
+		u, err := frontend.Compile(k.Source, frontend.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := modsched.Pipeline(u.Func, m, modsched.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // Suite returns the reduction-loop benchmarks in canonical order.
 func Suite() []Named {
 	pg, pm := pickBestGraph()
@@ -97,6 +119,8 @@ func Suite() []Named {
 		{"ReduceLarge/full", benchReduce(rg, rm, core.Options{DisableIncremental: true, Workers: 1})},
 		{"ReduceLarge/incremental", benchReduce(rg, rm, core.Options{Workers: 1})},
 		{"ReduceLarge/incremental-parallel", benchReduce(rg, rm, core.Options{})},
+		{"Loop/pipeline-saxpy", benchLoopPipeline("saxpy", machine.VLIW(4, 12))},
+		{"Loop/pipeline-stencil3", benchLoopPipeline("stencil3", machine.VLIW(4, 12))},
 	}
 }
 

@@ -29,6 +29,16 @@ func BenchmarkReduceLarge(b *testing.B) {
 	}
 }
 
+// BenchmarkLoop times the modulo-scheduling transform on the loop-suite
+// kernels (CI's loop-smoke job runs it with -benchtime=1x).
+func BenchmarkLoop(b *testing.B) {
+	for _, n := range Suite() {
+		if strings.HasPrefix(n.Name, "Loop/") {
+			b.Run(strings.TrimPrefix(n.Name, "Loop/"), n.Bench)
+		}
+	}
+}
+
 // TestModesAgree pins the property the benchmarks rely on: the full and
 // incremental modes do identical allocation work on the benchmark
 // workloads, so their timing ratio compares implementations, not outcomes.

@@ -35,6 +35,28 @@ func TestCorpus(t *testing.T) {
 			t.Errorf("corpus never exercises the %s oracle", oracle)
 		}
 	}
+
+	// The loop corpus replays through the loop oracle the same way.
+	loops, err := LoadLoopCorpus("testdata/loops")
+	if err != nil {
+		t.Fatalf("LoadLoopCorpus: %v", err)
+	}
+	if len(loops) == 0 {
+		t.Fatal("testdata/loops is empty; the loop corpus must ship with the repo")
+	}
+	loopChecks := 0
+	for name, c := range loops {
+		t.Run("loops/"+name, func(t *testing.T) {
+			rep := CheckLoop(c)
+			for _, v := range rep.Violations {
+				t.Errorf("%s\n%s", v, FormatLoopCase(c))
+			}
+			loopChecks += rep.Exercised[OracleLoop]
+		})
+	}
+	if loopChecks == 0 {
+		t.Error("loop corpus never exercises the loop oracle")
+	}
 }
 
 // TestCorpusRoundTrip pins the corpus format: every committed case must

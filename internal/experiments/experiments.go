@@ -91,6 +91,7 @@ func All() []Experiment {
 		{"T12", T12SuperscalarInOrder},
 		{"T13", T13PrioritizedMatching},
 		{"T14", T14HeuristicGap},
+		{"T15", T15ModuloScheduling},
 	}
 }
 

@@ -296,6 +296,11 @@ var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.
 // on adversarial blocks.
 var GapBuckets = []float64{0, 1, 2, 3, 5, 8, 13, 21, 34}
 
+// IIBuckets suits initiation-interval histograms (whole cycles per loop
+// iteration): tight kernels land in the low single digits, wide or
+// recurrence-bound kernels stretch into the tens.
+var IIBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
 // Histogram registers and returns a new histogram with the given upper
 // bounds (nil means DefBuckets). Bounds must be strictly ascending.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {

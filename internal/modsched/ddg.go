@@ -1,0 +1,188 @@
+// The loop-carried data dependence graph (DDG). Nodes are the template
+// instructions that survive into the pipelined steady state: the induction
+// load/increment are strength-reduced into address offsets, and scalar
+// ($cell) loads/stores disappear under register promotion, so none of them
+// are DDG nodes. Edges carry (latency, iteration distance): an edge u→v
+// with distance d means v in iteration i+d must start at least lat(u)
+// cycles after u in iteration i. Distances come from two sources: scalar
+// recurrences (the value stored to a promoted scalar feeds its load in the
+// next iteration, distance 1) and array accesses whose induction-relative
+// addresses collide d iterations apart.
+package modsched
+
+import (
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+)
+
+type dedge struct {
+	from, to int // node indices
+	lat      int // latency of the source instruction
+	dist     int // iteration distance (0 = same iteration)
+}
+
+type ddg struct {
+	nodes []*ir.Instr
+	edges []dedge
+}
+
+// addr is a symbolic memory address: sym[base + off] where base is either
+// the induction variable (ind), an absolute constant (abs, base 0), or
+// unknown (unk).
+type addrKind uint8
+
+const (
+	addrAbs addrKind = iota
+	addrInd
+	addrUnk
+)
+
+type symAddr struct {
+	kind addrKind
+	off  int64
+}
+
+// buildDDG constructs the dependence graph for l's steady state under
+// machine m.
+func buildDDG(l *Loop, m *machine.Config) *ddg {
+	d := &ddg{}
+	tmpl := l.Template()
+
+	// Which template instructions become DDG nodes, and the defining node
+	// of each register among them.
+	nodeOf := make(map[*ir.Instr]int)
+	defOf := make(map[ir.VReg]int)
+	// Induction-derived registers and their offsets from the loaded value.
+	indDelta := map[ir.VReg]int64{l.IndLoad.Dst: 0}
+	// Promoted scalars: register loaded from / value stored to each cell.
+	loadedReg := map[string]ir.VReg{}
+	storedVal := map[string]ir.VReg{}
+
+	for _, in := range tmpl {
+		if in == l.IndLoad || in == l.IndInc {
+			if in == l.IndInc {
+				indDelta[in.Dst] = indDelta[l.IndLoad.Dst] + in.Imm
+			}
+			continue
+		}
+		// Pure induction arithmetic folds into offsets too.
+		if in.Op == ir.AddI || in.Op == ir.SubI {
+			if base, ok := indDelta[in.Args[0]]; ok {
+				if in.Op == ir.AddI {
+					indDelta[in.Dst] = base + in.Imm
+				} else {
+					indDelta[in.Dst] = base - in.Imm
+				}
+				continue
+			}
+		}
+		if in.IsMem() && scalarSym(in.Sym) {
+			name := in.Sym[1:]
+			if in.IsStore() {
+				storedVal[name] = in.Args[0]
+			} else if _, seen := loadedReg[name]; !seen {
+				loadedReg[name] = in.Dst
+			}
+			continue
+		}
+		id := len(d.nodes)
+		d.nodes = append(d.nodes, in)
+		nodeOf[in] = id
+		if in.Dst != ir.NoReg {
+			defOf[in.Dst] = id
+		}
+	}
+
+	lat := func(id int) int { return m.LatencyOf(d.nodes[id].Op) }
+
+	// Same-iteration register flow.
+	for _, in := range tmpl {
+		v, kept := nodeOf[in]
+		if !kept {
+			continue
+		}
+		for _, a := range in.Uses() {
+			if u, ok := defOf[a]; ok && u != v {
+				d.edges = append(d.edges, dedge{u, v, lat(u), 0})
+			}
+		}
+	}
+
+	// Scalar recurrences: producer of the stored value → consumers of the
+	// loaded value, one iteration later. Producers or consumers that are
+	// not DDG nodes (e.g. a scalar copied from another scalar) drop the
+	// edge; under-constraining recMII is safe — it only lowers the bound.
+	for name, lr := range loadedReg {
+		sv, hasStore := storedVal[name]
+		if !hasStore {
+			continue // loop-invariant scalar: no recurrence
+		}
+		p, ok := defOf[sv]
+		if !ok {
+			continue
+		}
+		for _, in := range tmpl {
+			v, kept := nodeOf[in]
+			if !kept {
+				continue
+			}
+			for _, a := range in.Uses() {
+				if a == lr {
+					d.edges = append(d.edges, dedge{p, v, lat(p), 1})
+				}
+			}
+		}
+	}
+
+	// Array memory dependences via symbolic addresses.
+	classify := func(in *ir.Instr) symAddr {
+		if in.Index == ir.NoReg {
+			return symAddr{addrAbs, in.Off}
+		}
+		if delta, ok := indDelta[in.Index]; ok {
+			return symAddr{addrInd, in.Off + delta}
+		}
+		return symAddr{addrUnk, 0}
+	}
+	for i := 0; i < len(d.nodes); i++ {
+		u := d.nodes[i]
+		if !u.IsMem() {
+			continue
+		}
+		for j := i + 1; j < len(d.nodes); j++ {
+			v := d.nodes[j]
+			if !v.IsMem() || v.Sym != u.Sym {
+				continue
+			}
+			if !u.IsStore() && !v.IsStore() {
+				continue
+			}
+			au, av := classify(u), classify(v)
+			switch {
+			case au.kind == addrInd && av.kind == addrInd:
+				// u in iteration t touches au.off+t; v in iteration t'
+				// touches av.off+t'; they collide when t' - t = au.off - av.off.
+				switch delta := au.off - av.off; {
+				case delta == 0:
+					d.edges = append(d.edges, dedge{i, j, lat(i), 0})
+				case delta > 0:
+					d.edges = append(d.edges, dedge{i, j, lat(i), int(delta)})
+				default:
+					d.edges = append(d.edges, dedge{j, i, lat(j), int(-delta)})
+				}
+			case au.kind == addrAbs && av.kind == addrAbs:
+				if au.off == av.off {
+					d.edges = append(d.edges, dedge{i, j, lat(i), 0})
+					d.edges = append(d.edges, dedge{j, i, lat(j), 1})
+				}
+			default:
+				// An unknown or mixed addressing pair may collide at any
+				// distance: program order within the iteration plus a
+				// conservative distance-1 back edge.
+				d.edges = append(d.edges, dedge{i, j, lat(i), 0})
+				d.edges = append(d.edges, dedge{j, i, lat(j), 1})
+			}
+		}
+	}
+	return d
+}

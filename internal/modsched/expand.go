@@ -1,0 +1,211 @@
+// Kernel expansion and prologue/kernel/epilogue emission.
+//
+// The execution substrate drains a VLIW block completely before control
+// transfers (internal/vliwsim), and internal/pipeline refuses blocks with
+// register live-ins: every cross-block value travels through a memory cell.
+// Classical rotating-register kernels are therefore unavailable — the
+// software-pipelined steady state is realized as a *blocked kernel*: one
+// block holding B flattened iterations with every intra-block scalar
+// promoted to registers (modulo variable expansion by SSA renaming, so
+// cross-iteration values never share a register), induction arithmetic
+// strength-reduced into addressing offsets, and the loop test folded into
+// the kernel itself. A guard block (prologue) enters the kernel only while
+// at least B iterations remain, and a rolled copy of the original body
+// (epilogue) retires the remainder, so any trip count — 0, 1, or a
+// non-multiple of B — produces the exact final state of the original loop.
+package modsched
+
+import (
+	"fmt"
+	"sort"
+
+	"ursa/internal/ir"
+)
+
+// emitted records the labels of the blocks expandLoop produced.
+type emitted struct {
+	Guard   string // reuses the original head label: external edges keep working
+	Kernel  string
+	RemHead string
+	RemBody string
+}
+
+// sval is the symbolic value of a register or promoted scalar inside the
+// kernel: either a concrete register, or "induction + delta" which is
+// folded into addressing and materialized lazily for value uses.
+type sval struct {
+	reg   ir.VReg
+	ind   bool
+	delta int64
+}
+
+// expandLoop replaces l's head/body pair in f with guard, kernel (B
+// flattened iterations), remainder-head and remainder-body blocks. The
+// caller owns f (mutated in place).
+func expandLoop(f *ir.Func, l *Loop, B int) (*emitted, error) {
+	if B < 1 {
+		return nil, fmt.Errorf("modsched: blocking factor %d < 1", B)
+	}
+	labels := &emitted{
+		Guard:   l.Head.Label,
+		Kernel:  "msk." + l.Head.Label,
+		RemHead: "msr." + l.Head.Label,
+		RemBody: "msb." + l.Head.Label,
+	}
+	for _, lbl := range []string{labels.Kernel, labels.RemHead, labels.RemBody} {
+		if f.Block(lbl) != nil {
+			return nil, fmt.Errorf("modsched: label %q already taken", lbl)
+		}
+	}
+
+	guard := &ir.Block{Label: labels.Guard, Func: f}
+	gi := f.NewReg(l.Ind+".g", ir.ClassInt)
+	guard.Append(&ir.Instr{Op: l.IndLoad.Op, Dst: gi, Sym: l.IndLoad.Sym})
+	gc := f.NewReg("t.g", ir.ClassInt)
+	guard.Append(&ir.Instr{Op: ir.CmpLEI, Dst: gc, Args: []ir.VReg{gi}, Imm: l.Hi - int64(B)})
+	guard.Append(&ir.Instr{Op: ir.BrFalse, Args: []ir.VReg{gc}, Sym: labels.RemHead})
+
+	kernel, err := flattenBody(f, l, B, labels.Kernel)
+	if err != nil {
+		return nil, err
+	}
+
+	remHead := &ir.Block{Label: labels.RemHead, Func: f}
+	ri := f.NewReg(l.Ind+".r", ir.ClassInt)
+	remHead.Append(&ir.Instr{Op: l.IndLoad.Op, Dst: ri, Sym: l.IndLoad.Sym})
+	rc := f.NewReg("t.r", ir.ClassInt)
+	remHead.Append(&ir.Instr{Op: ir.CmpLTI, Dst: rc, Args: []ir.VReg{ri}, Imm: l.Hi})
+	remHead.Append(&ir.Instr{Op: ir.BrFalse, Args: []ir.VReg{rc}, Sym: l.Exit})
+
+	// The remainder body is the original body, retargeted at the remainder
+	// head. Its registers are referenced nowhere else.
+	remBody := l.Body
+	remBody.Label = labels.RemBody
+	remBody.Instrs[len(remBody.Instrs)-1].Sym = labels.RemHead
+
+	// Splice [guard kernel remHead remBody] over [head body].
+	blocks := make([]*ir.Block, 0, len(f.Blocks)+2)
+	blocks = append(blocks, f.Blocks[:l.HeadIdx]...)
+	blocks = append(blocks, guard, kernel, remHead, remBody)
+	blocks = append(blocks, f.Blocks[l.BodyIdx+1:]...)
+	f.Blocks = blocks
+	return labels, nil
+}
+
+// flattenBody builds the kernel block: B copies of the loop template with
+// per-replica SSA renaming, scalars promoted to registers across replicas
+// (loaded once on first touch, stored back once at the end), induction
+// uses folded into addressing offsets, and the continuation test
+// `ind+B ≤ Hi−B → kernel` at the end.
+func flattenBody(f *ir.Func, l *Loop, B int, label string) (*ir.Block, error) {
+	b := &ir.Block{Label: label, Func: f}
+	i0 := f.NewReg(l.Ind+".k", ir.ClassInt)
+	b.Append(&ir.Instr{Op: l.IndLoad.Op, Dst: i0, Sym: l.IndLoad.Sym})
+
+	cur := map[string]sval{l.Ind: {reg: i0, ind: true}} // scalar name → current value
+	dirty := map[string]ir.Op{}                         // scalars needing store-back
+	indMat := map[int64]ir.VReg{0: i0}                  // materialized induction offsets
+	mat := func(v sval) ir.VReg {
+		if !v.ind {
+			return v.reg
+		}
+		if r, ok := indMat[v.delta]; ok {
+			return r
+		}
+		r := f.NewReg(fmt.Sprintf("%s.k%d", l.Ind, v.delta), ir.ClassInt)
+		b.Append(&ir.Instr{Op: ir.AddI, Dst: r, Args: []ir.VReg{i0}, Imm: v.delta})
+		indMat[v.delta] = r
+		return r
+	}
+
+	tmpl := l.Template()
+	for k := 0; k < B; k++ {
+		sub := map[ir.VReg]sval{} // template register → this replica's value
+		resolve := func(a ir.VReg) (sval, error) {
+			v, ok := sub[a]
+			if !ok {
+				return sval{}, fmt.Errorf("modsched: template register %s has no definition", f.NameOf(a))
+			}
+			return v, nil
+		}
+		for _, t := range tmpl {
+			switch {
+			case t == l.IndInc:
+				prev, err := resolve(t.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				if !prev.ind {
+					return nil, fmt.Errorf("modsched: induction increment feeds from non-induction value")
+				}
+				sub[t.Dst] = sval{ind: true, delta: prev.delta + t.Imm}
+			case t.IsMem() && scalarSym(t.Sym):
+				name := t.Sym[1:]
+				if t.IsStore() {
+					v, err := resolve(t.Args[0])
+					if err != nil {
+						return nil, err
+					}
+					cur[name] = v
+					dirty[name] = t.Op
+				} else {
+					v, ok := cur[name]
+					if !ok {
+						r := f.NewReg(name+".k", f.ClassOf(t.Dst))
+						b.Append(&ir.Instr{Op: t.Op, Dst: r, Sym: t.Sym})
+						v = sval{reg: r}
+						cur[name] = v
+					}
+					sub[t.Dst] = v
+				}
+			default:
+				c := t.Clone()
+				c.ID = 0
+				for ai, a := range c.Args {
+					v, err := resolve(a)
+					if err != nil {
+						return nil, err
+					}
+					c.Args[ai] = mat(v)
+				}
+				if c.Index != ir.NoReg {
+					v, err := resolve(c.Index)
+					if err != nil {
+						return nil, err
+					}
+					if v.ind {
+						c.Index = i0
+						c.Off += v.delta
+					} else {
+						c.Index = v.reg
+					}
+				}
+				if c.Dst != ir.NoReg {
+					d := f.NewReg(f.NameOf(t.Dst)+".k", f.ClassOf(t.Dst))
+					c.Dst = d
+					sub[t.Dst] = sval{reg: d}
+				}
+				b.Append(c)
+			}
+		}
+	}
+
+	// Store-backs in sorted name order (matches the frontend's flush).
+	names := make([]string, 0, len(dirty))
+	for name := range dirty {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.Append(&ir.Instr{Op: dirty[name], Args: []ir.VReg{mat(cur[name])}, Sym: "$" + name})
+	}
+	if cur[l.Ind].delta != int64(B) || !cur[l.Ind].ind {
+		return nil, fmt.Errorf("modsched: induction advanced by %d per kernel, expected %d", cur[l.Ind].delta, B)
+	}
+
+	// Continue while ind+B ≤ Hi−B, i.e. at least B more iterations remain.
+	tc := f.NewReg("t.k", ir.ClassInt)
+	b.Append(&ir.Instr{Op: ir.CmpLEI, Dst: tc, Args: []ir.VReg{mat(cur[l.Ind])}, Imm: l.Hi - int64(B)})
+	b.Append(&ir.Instr{Op: ir.BrTrue, Args: []ir.VReg{tc}, Sym: label})
+	return b, nil
+}

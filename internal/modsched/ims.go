@@ -1,0 +1,205 @@
+// Iterative modulo scheduling (Rau, MICRO-27 1994). For a candidate II we
+// place each DDG node at a cycle σ(v) honoring σ(u)+lat(u)−II·dist ≤ σ(v)
+// on every edge and per-class modulo reservation: an op at cycle t keeps a
+// unit of its class busy in slots (t+j) mod II for j < occupancy, and no
+// slot may hold more reservations than the class has units. When a node
+// has no conflict-free slot in its II-cycle window it is placed anyway,
+// evicting whatever it collides with; a budget bounds the resulting
+// churn. The schedule's length fixes the stage count, which seeds the
+// modulo-variable-expansion blocking factor.
+package modsched
+
+import "ursa/internal/machine"
+
+type imsResult struct {
+	sigma  []int // cycle per DDG node
+	stages int   // floor(max σ / II) + 1
+}
+
+// slotDemand returns how many reservations an op at cycle t with the given
+// occupancy puts on each of the ii modulo slots (occupancy beyond ii wraps
+// and stacks).
+func slotDemand(t, occ, ii int, out []int) {
+	for i := range out {
+		out[i] = 0
+	}
+	for j := 0; j < occ; j++ {
+		out[((t+j)%ii+ii)%ii]++
+	}
+}
+
+// ims schedules d at initiation interval ii, returning nil when no
+// schedule is found within budget.
+func ims(d *ddg, m *machine.Config, ii int) *imsResult {
+	n := len(d.nodes)
+	if n == 0 {
+		return &imsResult{stages: 1}
+	}
+	occ := make([]int, n)
+	cls := make([]machine.FUClass, n)
+	for i, in := range d.nodes {
+		occ[i] = m.OccupancyOf(in.Op)
+		cls[i] = m.ClassFor(in.Kind())
+	}
+	succs := make([][]dedge, n)
+	preds := make([][]dedge, n)
+	for _, e := range d.edges {
+		succs[e.from] = append(succs[e.from], e)
+		preds[e.to] = append(preds[e.to], e)
+	}
+	prio := heights(d, succs, ii)
+
+	// Modulo reservation table: reservations per (class, slot).
+	mrt := map[machine.FUClass][]int{}
+	for _, c := range cls {
+		if mrt[c] == nil {
+			mrt[c] = make([]int, ii)
+		}
+	}
+	demand := make([]int, ii)
+	reserve := func(v, at, delta int) {
+		slotDemand(at, occ[v], ii, demand)
+		row := mrt[cls[v]]
+		for s, dm := range demand {
+			row[s] += delta * dm
+		}
+	}
+	fits := func(v, at int) bool {
+		slotDemand(at, occ[v], ii, demand)
+		row, lim := mrt[cls[v]], m.Units[cls[v]]
+		for s, dm := range demand {
+			if dm > 0 && row[s]+dm > lim {
+				return false
+			}
+		}
+		return true
+	}
+
+	sigma := make([]int, n)
+	placed := make([]bool, n)
+	prevTry := make([]int, n)
+	for i := range prevTry {
+		prevTry[i] = -1
+	}
+	unplaced := n
+	budget := 16*n + 64
+	horizon := ii * (n + 4) // divergence guard on σ values
+
+	for unplaced > 0 {
+		if budget--; budget < 0 {
+			return nil
+		}
+		// Highest-priority unplaced node (ties: lowest index).
+		v := -1
+		for i := 0; i < n; i++ {
+			if !placed[i] && (v < 0 || prio[i] > prio[v]) {
+				v = i
+			}
+		}
+		estart := 0
+		for _, e := range preds[v] {
+			if placed[e.from] && e.from != v {
+				if t := sigma[e.from] + e.lat - ii*e.dist; t > estart {
+					estart = t
+				}
+			}
+		}
+		slot := -1
+		for t := estart; t < estart+ii; t++ {
+			if fits(v, t) {
+				slot = t
+				break
+			}
+		}
+		if slot < 0 {
+			// Forced placement with eviction.
+			slot = estart
+			if prevTry[v] >= 0 && slot <= prevTry[v] {
+				slot = prevTry[v] + 1
+			}
+			if slot > horizon {
+				return nil
+			}
+			for !fits(v, slot) {
+				// Evict the lowest-priority resident of v's class whose
+				// reservation overlaps v's.
+				w := -1
+				for i := 0; i < n; i++ {
+					if placed[i] && i != v && cls[i] == cls[v] &&
+						overlaps(sigma[i], occ[i], slot, occ[v], ii) &&
+						(w < 0 || prio[i] < prio[w]) {
+						w = i
+					}
+				}
+				if w < 0 {
+					return nil
+				}
+				reserve(w, sigma[w], -1)
+				placed[w] = false
+				unplaced++
+			}
+		}
+		prevTry[v] = slot
+		sigma[v] = slot
+		reserve(v, slot, +1)
+		placed[v] = true
+		unplaced--
+		// Displace already-placed successors whose dependence constraint v
+		// now violates; they will be rescheduled later.
+		for _, e := range succs[v] {
+			if e.to != v && placed[e.to] && sigma[e.to] < slot+e.lat-ii*e.dist {
+				reserve(e.to, sigma[e.to], -1)
+				placed[e.to] = false
+				unplaced++
+			}
+		}
+	}
+	maxS := 0
+	for _, s := range sigma {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	return &imsResult{sigma: sigma, stages: maxS/ii + 1}
+}
+
+// overlaps reports whether two modulo reservations of the same class touch
+// a common slot.
+func overlaps(t1, occ1, t2, occ2, ii int) bool {
+	a := make([]int, ii)
+	b := make([]int, ii)
+	slotDemand(t1, occ1, ii, a)
+	slotDemand(t2, occ2, ii, b)
+	for i := 0; i < ii; i++ {
+		if a[i] > 0 && b[i] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// heights computes the cyclic height priority: the longest latency path
+// from each node under weights lat − II·dist, relaxed to a fixed point
+// (feasible IIs have no positive cycle, so this converges within n
+// rounds).
+func heights(d *ddg, succs [][]dedge, ii int) []int {
+	n := len(d.nodes)
+	h := make([]int, n)
+	for round := 0; round < n; round++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			for _, e := range succs[v] {
+				if e.to != v {
+					if w := h[e.to] + e.lat - ii*e.dist; w > h[v] {
+						h[v] = w
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,156 @@
+// Loop recognition. The frontend lowers every counted `for` into a fixed
+// two-block shape (see internal/frontend/lower.go):
+//
+//	head:  r = load $i ; t = cmplti r, Hi ; brfalse t, exit
+//	body:  ...straight-line code... ; br head
+//
+// where the body loads $i exactly once, increments it by one with a single
+// addi, and stores the incremented value back to $i among its end-of-block
+// scalar flushes. Recognize finds every innermost loop of that shape; the
+// pipeliner only transforms loops it recognized, so anything else (computed
+// bounds, inner branches, strided updates) safely falls through to the
+// ordinary per-block path.
+package modsched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ursa/internal/ir"
+)
+
+// ErrNoLoop reports that a function contains no loop in the canonical
+// counted shape the pipeliner understands.
+var ErrNoLoop = errors.New("modsched: no canonical counted loop found")
+
+// Loop is one recognized innermost counted loop.
+type Loop struct {
+	HeadIdx int // index of the head block in f.Blocks
+	BodyIdx int // index of the body block (always HeadIdx+1)
+	Head    *ir.Block
+	Body    *ir.Block
+
+	Ind     string    // induction scalar name, without the "$" cell prefix
+	IndLoad *ir.Instr // the body's `load $ind`
+	IndInc  *ir.Instr // the body's `addi <ind>, 1`
+	Hi      int64     // exclusive constant upper bound: iterate while ind < Hi
+	Exit    string    // label branched to when the loop is done
+}
+
+// scalarSym reports whether a mem-op symbol addresses a frontend scalar
+// cell ("$name") rather than an array.
+func scalarSym(sym string) bool { return strings.HasPrefix(sym, "$") }
+
+// Recognize returns every innermost canonical counted loop in f, in layout
+// order. It returns ErrNoLoop when none match.
+func Recognize(f *ir.Func) ([]*Loop, error) {
+	var loops []*Loop
+	for i := 0; i+1 < len(f.Blocks); i++ {
+		l := matchLoop(f, i)
+		if l == nil {
+			continue
+		}
+		loops = append(loops, l)
+		i++ // skip the body block
+	}
+	if len(loops) == 0 {
+		return nil, ErrNoLoop
+	}
+	return loops, nil
+}
+
+// matchLoop tries to match a loop with head block f.Blocks[i] and body
+// block f.Blocks[i+1]; it returns nil when the shape doesn't hold.
+func matchLoop(f *ir.Func, i int) *Loop {
+	head, body := f.Blocks[i], f.Blocks[i+1]
+	if len(head.Instrs) != 3 {
+		return nil
+	}
+	ld, cmp, br := head.Instrs[0], head.Instrs[1], head.Instrs[2]
+	if ld.Op != ir.Load || !scalarSym(ld.Sym) || ld.Index != ir.NoReg || ld.Off != 0 {
+		return nil
+	}
+	if cmp.Op != ir.CmpLTI || len(cmp.Args) != 1 || cmp.Args[0] != ld.Dst {
+		return nil
+	}
+	if br.Op != ir.BrFalse || len(br.Args) != 1 || br.Args[0] != cmp.Dst {
+		return nil
+	}
+	ind := ld.Sym[1:]
+
+	// Body: straight-line, ending with an unconditional branch back to the
+	// head; no other branches (so no inner control flow), no live-in
+	// registers, exactly one load of $ind and one store of $ind fed by a
+	// single `addi loaded, 1`.
+	n := len(body.Instrs)
+	if n == 0 {
+		return nil
+	}
+	back := body.Instrs[n-1]
+	if back.Op != ir.Br || back.Sym != head.Label {
+		return nil
+	}
+	var indLoad, indInc, indStore *ir.Instr
+	defined := map[ir.VReg]bool{}
+	for _, in := range body.Instrs[:n-1] {
+		if in.IsBranch() {
+			return nil
+		}
+		for _, a := range in.Uses() {
+			if !defined[a] {
+				return nil // live-in register: not self-contained
+			}
+		}
+		if in.Dst != ir.NoReg {
+			if defined[in.Dst] {
+				return nil // body must be SSA for substitution to work
+			}
+			defined[in.Dst] = true
+		}
+		if in.IsMem() && in.Sym == ld.Sym {
+			if in.IsStore() {
+				if indStore != nil {
+					return nil
+				}
+				indStore = in
+			} else {
+				if indLoad != nil {
+					return nil
+				}
+				indLoad = in
+			}
+		}
+	}
+	if indLoad == nil || indStore == nil || len(indStore.Args) != 1 {
+		return nil
+	}
+	// The stored value must be `addi loaded, 1`.
+	for _, in := range body.Instrs[:n-1] {
+		if in.Dst == indStore.Args[0] {
+			if in.Op != ir.AddI || in.Imm != 1 || len(in.Args) != 1 || in.Args[0] != indLoad.Dst {
+				return nil
+			}
+			indInc = in
+		}
+	}
+	if indInc == nil {
+		return nil
+	}
+	return &Loop{
+		HeadIdx: i, BodyIdx: i + 1,
+		Head: head, Body: body,
+		Ind: ind, IndLoad: indLoad, IndInc: indInc,
+		Hi: cmp.Imm, Exit: br.Sym,
+	}
+}
+
+// Template returns the body instructions that repeat each iteration (the
+// body minus its back branch).
+func (l *Loop) Template() []*ir.Instr {
+	return l.Body.Instrs[:len(l.Body.Instrs)-1]
+}
+
+func (l *Loop) String() string {
+	return fmt.Sprintf("loop(%s: %s < %d, %d ops)", l.Head.Label, l.Ind, l.Hi, len(l.Template()))
+}

@@ -1,0 +1,68 @@
+// Minimum initiation interval bounds (Rau & Glaeser). resMII counts
+// functional-unit occupancy per class; recMII is the smallest II for which
+// no dependence cycle demands more time than II allows per iteration.
+package modsched
+
+import "ursa/internal/machine"
+
+// resMII is the resource-constrained lower bound on the initiation
+// interval: for each FU class, the total occupancy-cycles the steady state
+// issues per iteration divided by the units available, rounded up.
+func resMII(d *ddg, m *machine.Config) int {
+	occ := map[machine.FUClass]int{}
+	for _, in := range d.nodes {
+		occ[m.ClassFor(in.Kind())] += m.OccupancyOf(in.Op)
+	}
+	mii := 1
+	for cl, o := range occ {
+		u := m.Units[cl]
+		if u <= 0 {
+			continue
+		}
+		if v := (o + u - 1) / u; v > mii {
+			mii = v
+		}
+	}
+	return mii
+}
+
+// recMII is the recurrence-constrained lower bound: the smallest II such
+// that no dependence cycle has positive weight under edge weight
+// lat(u) − II·dist. Found by linear scan with a Bellman-Ford longest-path
+// positive-cycle test; the scan is bounded by the total latency of the
+// steady state, which any single-resource schedule achieves.
+func recMII(d *ddg, m *machine.Config) int {
+	maxII := 1
+	for _, in := range d.nodes {
+		maxII += m.LatencyOf(in.Op)
+	}
+	for ii := 1; ii < maxII; ii++ {
+		if !positiveCycle(d, ii) {
+			return ii
+		}
+	}
+	return maxII
+}
+
+// positiveCycle reports whether the DDG has a cycle of positive total
+// weight under lat − ii·dist.
+func positiveCycle(d *ddg, ii int) bool {
+	n := len(d.nodes)
+	if n == 0 {
+		return false
+	}
+	dist := make([]int, n) // all nodes start at 0: every node is a source
+	for round := 0; round < n; round++ {
+		changed := false
+		for _, e := range d.edges {
+			if w := dist[e.from] + e.lat - ii*e.dist; w > dist[e.to] {
+				dist[e.to] = w
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	return true // still relaxing after n rounds: positive cycle
+}

@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+	"ursa/internal/modsched"
+	"ursa/internal/store"
+)
+
+// CompileLoopFunc is the loop-centric pipeline entry: it software-pipelines
+// every canonical counted loop in f with internal/modsched (II search under
+// URSA's kernel measurement, modulo variable expansion, guard/kernel/
+// remainder emission) and then compiles the transformed function with the
+// requested method. The modsched result reports per-loop II against the
+// resMII/recMII lower bounds.
+func CompileLoopFunc(f *ir.Func, m *machine.Config, method Method, opts Options) (*FuncProgram, *Stats, *modsched.Result, error) {
+	ms, err := modsched.Pipeline(f, m, modsched.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fp, st, err := CompileFunc(ms.Func, m, method, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return fp, st, ms, nil
+}
+
+// LoopCacheKey derives the compile-result cache key for the loop-pipelined
+// compilation of f: the ordinary CacheKey fingerprint (function IR, machine
+// semantics, method, options) domain-separated by a loop-pipeline marker,
+// so straight and loop-pipelined compiles of the same function never share
+// an artifact. ursagw routes on this key like any other.
+func LoopCacheKey(f *ir.Func, m *machine.Config, method Method, opts Options) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(loopKeyDomain)))
+	h.Write(buf[:])
+	h.Write([]byte(loopKeyDomain))
+	h.Write([]byte(CacheKey(f, m, method, opts)))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+const loopKeyDomain = "modsched-loop-v1"
+
+// CompileLoopCached is CompileLoopFunc behind the tiered compile-result
+// cache, mirroring CompileFuncCached. The modulo-scheduling transform runs
+// on every call (its report — II, MII, unroll — is part of the response
+// even on a warm hit); the per-block compilation of the transformed
+// function is what the cache absorbs.
+func CompileLoopCached(f *ir.Func, m *machine.Config, method Method, opts Options) (*CachedFunc, *Stats, *modsched.Result, error) {
+	ms, err := modsched.Pipeline(f, m, modsched.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if opts.Results == nil {
+		fp, st, err := CompileFunc(ms.Func, m, method, opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return &CachedFunc{Tier: store.TierNone, Artifact: artifactOf(ms.Func, fp, st), Prog: fp}, st, ms, nil
+	}
+
+	key := LoopCacheKey(f, m, method, opts)
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var fresh *FuncProgram
+	var freshStats *Stats
+	data, tier, err := opts.Results.GetOrComputeCtx(ctx, key, func() ([]byte, error) {
+		fp, st, err := CompileFunc(ms.Func, m, method, opts)
+		if err != nil {
+			return nil, err
+		}
+		fresh, freshStats = fp, st
+		return artifactOf(ms.Func, fp, st).Encode()
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if fresh != nil {
+		return &CachedFunc{Key: key, Tier: store.TierNone, Artifact: artifactOf(ms.Func, fresh, freshStats), Prog: fresh}, freshStats, ms, nil
+	}
+	art, derr := store.DecodeArtifact(data)
+	if derr != nil {
+		fp, st, err := CompileFunc(ms.Func, m, method, opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return &CachedFunc{Key: key, Tier: store.TierNone, Artifact: artifactOf(ms.Func, fp, st), Prog: fp}, st, ms, nil
+	}
+	return &CachedFunc{Key: key, Tier: tier, Artifact: art}, statsFromArtifact(art, method, m.Name), ms, nil
+}

@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"testing"
+
+	"ursa/internal/frontend"
+	"ursa/internal/machine"
+	"ursa/internal/store"
+)
+
+const loopSrc = `
+func loopy {
+	var s = 0;
+	for i = 0 to 20 { s = s + a[i]*2; b[i] = a[i] + 1; }
+	out[0] = s;
+}`
+
+// TestCompileLoopFunc pins the loop entry end-to-end: the transform
+// reports sane bounds, the compiled function runs and verifies.
+func TestCompileLoopFunc(t *testing.T) {
+	u, err := frontend.Compile(loopSrc, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.VLIW(4, 12)
+	fp, st, ms, err := CompileLoopFunc(u.Func, m, URSA, Options{})
+	if err != nil {
+		t.Fatalf("CompileLoopFunc: %v", err)
+	}
+	if st.Words == 0 || fp == nil {
+		t.Fatalf("empty compile: %+v", st)
+	}
+	lr := ms.Primary()
+	if lr.AchievedII < lr.MII {
+		t.Errorf("achieved II %d < MII %d", lr.AchievedII, lr.MII)
+	}
+}
+
+// TestLoopCacheKeySeparation: the loop-pipelined compile of a function
+// must never share a cache key with its straight compile, while equal
+// requests must agree.
+func TestLoopCacheKeySeparation(t *testing.T) {
+	u, err := frontend.Compile(loopSrc, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.VLIW(4, 12)
+	straight := CacheKey(u.Func, m, URSA, Options{})
+	loop := LoopCacheKey(u.Func, m, URSA, Options{})
+	if straight == loop {
+		t.Fatal("loop and straight compiles share a cache key")
+	}
+	if loop != LoopCacheKey(u.Func, m, URSA, Options{}) {
+		t.Fatal("LoopCacheKey not deterministic")
+	}
+	if loop == LoopCacheKey(u.Func, machine.VLIW(2, 8), URSA, Options{}) {
+		t.Fatal("LoopCacheKey ignores the machine")
+	}
+}
+
+// TestCompileLoopCached: cold compile populates the store, a fresh tier
+// over the same disk serves the identical listing, and the modsched
+// report is present on both paths.
+func TestCompileLoopCached(t *testing.T) {
+	u, err := frontend.Compile(loopSrc, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.VLIW(4, 12)
+	disk := mustOpenStore(t)
+
+	cold, coldStats, coldMS, err := CompileLoopCached(u.Func, m, URSA, Options{Results: store.NewTiered(0, disk, nil)})
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if cold.Tier != store.TierNone || cold.Prog == nil || coldMS == nil {
+		t.Fatalf("cold compile served by %v, prog %v", cold.Tier, cold.Prog != nil)
+	}
+	warm, warmStats, warmMS, err := CompileLoopCached(u.Func, m, URSA, Options{Results: store.NewTiered(0, disk, nil)})
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if warm.Tier != store.TierDisk {
+		t.Fatalf("warm compile served by %v; want disk", warm.Tier)
+	}
+	if got, want := warm.Listing(), cold.Listing(); got != want {
+		t.Errorf("warm listing differs from cold:\n--- cold ---\n%s--- warm ---\n%s", want, got)
+	}
+	if coldStats.Words != warmStats.Words || coldStats.SpillOps != warmStats.SpillOps {
+		t.Errorf("stats diverge: cold %+v warm %+v", coldStats, warmStats)
+	}
+	if warmMS == nil || warmMS.Primary().II != coldMS.Primary().II {
+		t.Errorf("modsched report missing or diverging on warm hit")
+	}
+}

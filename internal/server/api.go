@@ -120,6 +120,12 @@ type CompileRequest struct {
 	Gap bool `json:"gap,omitempty"`
 	// Optimize runs the scalar optimizations before compiling.
 	Optimize bool `json:"optimize,omitempty"`
+	// Loop software-pipelines every canonical counted loop with
+	// internal/modsched before compiling (kernel-language sources with
+	// counted loops; see docs/LOOPS.md). The response carries a LoopJSON
+	// per pipelined loop, and Run verifies the pipelined code against the
+	// interpretation of the original, unpipelined function.
+	Loop bool `json:"loop,omitempty"`
 	// Workers bounds per-request block-level parallelism; 0 means
 	// sequential (the server's concurrency lives in the admission queue).
 	Workers int `json:"workers,omitempty"`
@@ -176,6 +182,9 @@ func (cr *CompileRequest) CacheKey() (string, error) {
 	m, err := cr.Machine.resolve()
 	if err != nil {
 		return "", fmt.Errorf("machine: %w", err)
+	}
+	if cr.Loop {
+		return pipeline.LoopCacheKey(f, m, method, pipeline.Options{Optimize: cr.Optimize}), nil
 	}
 	return pipeline.CacheKey(f, m, method, pipeline.Options{Optimize: cr.Optimize}), nil
 }
@@ -299,6 +308,22 @@ type GapJSON struct {
 	Skipped      string `json:"skipped,omitempty"`
 }
 
+// LoopJSON reports one software-pipelined loop: the initiation interval
+// the modulo scheduler accepted against the classic lower bounds, the
+// modulo-variable-expansion blocking factor, and the steady-state cost.
+// Present only on "loop": true requests.
+type LoopJSON struct {
+	Head        string `json:"head"`
+	ResMII      int    `json:"res_mii"`
+	RecMII      int    `json:"rec_mii"`
+	MII         int    `json:"mii"`
+	II          int    `json:"ii"`
+	Stages      int    `json:"stages"`
+	Unroll      int    `json:"unroll"`
+	KernelWords int    `json:"kernel_words"`
+	AchievedII  int    `json:"achieved_ii"`
+}
+
 // CompileResponse is POST /v1/compile's body.
 type CompileResponse struct {
 	Name      string         `json:"name,omitempty"`
@@ -307,6 +332,7 @@ type CompileResponse struct {
 	Blocks    []BlockListing `json:"blocks"`
 	Stats     StatsJSON      `json:"stats"`
 	Gap       *GapJSON       `json:"gap,omitempty"`
+	Loops     []LoopJSON     `json:"loops,omitempty"`
 	Run       *RunJSON       `json:"run,omitempty"`
 	Cache     CacheDelta     `json:"cache"`
 	ElapsedMS float64        `json:"elapsed_ms"`

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+const loopTestSrc = `
+func acc {
+	var s = 0;
+	for i = 0 to 24 { s = s + a[i]*2; b[i] = a[i] + s; }
+	out[0] = s;
+}`
+
+func loopTestInit() *InitSpec {
+	init := &InitSpec{Ints: map[string][]int64{"a": {}}}
+	for i := int64(0); i < 24; i++ {
+		init.Ints["a"] = append(init.Ints["a"], 3*i-7)
+	}
+	return init
+}
+
+// TestCompileLoop: a loop-pipelined compile returns per-loop II reports
+// with II ≥ MII, a runnable verified execution against the unpipelined
+// reference, and the loop telemetry series.
+func TestCompileLoop(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var got CompileResponse
+	code, raw := postJSON(t, ts.URL+"/v1/compile", CompileRequest{
+		Source:  loopTestSrc,
+		Lang:    "kernel",
+		Loop:    true,
+		Run:     true,
+		Machine: MachineSpec{Width: 4, Regs: 12},
+		Init:    loopTestInit(),
+	}, &got)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if len(got.Loops) == 0 {
+		t.Fatal("no loop reports on a loop compile")
+	}
+	for _, l := range got.Loops {
+		if l.AchievedII < l.MII || l.MII < 1 {
+			t.Errorf("loop %s: achieved II %d vs MII %d", l.Head, l.AchievedII, l.MII)
+		}
+		if l.Unroll < 1 || l.KernelWords < 1 {
+			t.Errorf("loop %s: degenerate report %+v", l.Head, l)
+		}
+	}
+	if got.Run == nil || !got.Stats.Verified {
+		t.Fatalf("loop run missing or unverified: %+v", got.Stats)
+	}
+
+	// Telemetry: both loop histograms observed this compile.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, series := range []string{"ursa_loop_ii_count 1", "ursa_loop_mii_count 1"} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics missing %q", series)
+		}
+	}
+}
+
+// TestCompileLoopCacheKeyRouting: the loop request's CacheKey() differs
+// from the straight compile's — the property ursagw's shard routing
+// relies on to keep the two artifact families apart.
+func TestCompileLoopCacheKeyRouting(t *testing.T) {
+	loopReq := CompileRequest{Source: loopTestSrc, Lang: "kernel", Loop: true, Machine: MachineSpec{Width: 4, Regs: 12}}
+	straight := loopReq
+	straight.Loop = false
+	lk, err := loopReq.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := straight.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lk == sk {
+		t.Fatal("loop and straight requests share a routing key")
+	}
+}

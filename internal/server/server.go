@@ -44,6 +44,7 @@ import (
 	"ursa/internal/machine"
 	"ursa/internal/measure"
 	"ursa/internal/metrics"
+	"ursa/internal/modsched"
 	"ursa/internal/pipeline"
 	"ursa/internal/store"
 	"ursa/internal/workload"
@@ -111,6 +112,8 @@ type Server struct {
 	mCompileErr *metrics.CounterVec
 	mServedBy   *metrics.CounterVec
 	mGap        *metrics.HistogramVec
+	mLoopII     *metrics.Histogram
+	mLoopMII    *metrics.Histogram
 
 	// testHook, when non-nil, runs inside every compile request while it
 	// holds an admission slot — the package tests' lever for saturating
@@ -161,6 +164,8 @@ func New(cfg Config) *Server {
 	s.mCompileErr = r.CounterVec("ursad_compile_errors_total", "failed compiles by pipeline method", "method")
 	s.mServedBy = r.CounterVec("ursad_artifact_served_total", "compile responses by serving cache tier (or \"compiled\")", "tier")
 	s.mGap = r.HistogramVec("ursa_heuristic_gap", "heuristic distance from the exact solver's proven optimum, by dimension (words, intregs, fpregs); observed on gap-enabled compiles", "dimension", metrics.GapBuckets)
+	s.mLoopII = r.Histogram("ursa_loop_ii", "achieved initiation interval (steady-state cycles per iteration) of software-pipelined loops", metrics.IIBuckets)
+	s.mLoopMII = r.Histogram("ursa_loop_mii", "minimum initiation interval lower bound max(resMII, recMII) of software-pipelined loops", metrics.IIBuckets)
 	r.Func("ursad_cache_hits_total", "measurement cache hits", "counter", func() float64 {
 		h, _ := s.cache.Stats()
 		return float64(h)
@@ -493,7 +498,32 @@ func (s *Server) compileOne(ctx context.Context, cr *CompileRequest) (*CompileRe
 		// listings only, so run requests always compile.
 		opts.Results = s.artifacts
 	}
-	cf, st, err := pipeline.CompileFuncCached(f, m, method, opts)
+	var cf *pipeline.CachedFunc
+	var st *pipeline.Stats
+	var loops []LoopJSON
+	if cr.Loop {
+		var ms *modsched.Result
+		cf, st, ms, err = pipeline.CompileLoopCached(f, m, method, opts)
+		if err == nil {
+			for _, lr := range ms.Loops {
+				loops = append(loops, LoopJSON{
+					Head:        lr.HeadLabel,
+					ResMII:      lr.ResMII,
+					RecMII:      lr.RecMII,
+					MII:         lr.MII,
+					II:          lr.II,
+					Stages:      lr.Stages,
+					Unroll:      lr.Unroll,
+					KernelWords: lr.KernelWords,
+					AchievedII:  lr.AchievedII,
+				})
+				s.mLoopII.Observe(float64(lr.AchievedII))
+				s.mLoopMII.Observe(float64(lr.MII))
+			}
+		}
+	} else {
+		cf, st, err = pipeline.CompileFuncCached(f, m, method, opts)
+	}
 	if err != nil {
 		s.mCompileErr.With(method.String()).Inc()
 		return nil, fmt.Errorf("compile: %w", err)
@@ -504,6 +534,7 @@ func (s *Server) compileOne(ctx context.Context, cr *CompileRequest) (*CompileRe
 		Method:  method.String(),
 		Machine: m.Name,
 		Blocks:  artifactListings(cf.Artifact),
+		Loops:   loops,
 	}
 
 	if cr.Run {

@@ -35,8 +35,15 @@ type Result struct {
 	Points  []Point
 }
 
-// Best returns the point with the fewest cycles per iteration.
+// DefaultBudget is the cycle budget Sweep grants each evaluation run.
+const DefaultBudget = 50_000_000
+
+// Best returns the point with the fewest cycles per iteration, or a zero
+// Point when the sweep holds no points.
 func (r *Result) Best() Point {
+	if len(r.Points) == 0 {
+		return Point{}
+	}
 	best := r.Points[0]
 	for _, p := range r.Points[1:] {
 		if p.CyclesPerIter < best.CyclesPerIter {
@@ -53,7 +60,17 @@ func (r *Result) Best() Point {
 // (copied) per run.
 func Sweep(name, src string, iters int, init *ir.State, m *machine.Config,
 	method pipeline.Method, factors []int) (*Result, error) {
+	return SweepBudget(name, src, iters, init, m, method, factors, DefaultBudget)
+}
 
+// SweepBudget is Sweep with an explicit per-run cycle budget; budget ≤ 0
+// means DefaultBudget.
+func SweepBudget(name, src string, iters int, init *ir.State, m *machine.Config,
+	method pipeline.Method, factors []int, budget int) (*Result, error) {
+
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
 	if iters <= 0 {
 		return nil, fmt.Errorf("softpipe: iters must be positive")
 	}
@@ -63,7 +80,7 @@ func Sweep(name, src string, iters int, init *ir.State, m *machine.Config,
 		if err != nil {
 			return nil, fmt.Errorf("softpipe: unroll %d: %w", k, err)
 		}
-		st, err := pipeline.EvaluateFunc(u.Func, m, method, init.Clone(), 50_000_000, pipeline.Options{})
+		st, err := pipeline.EvaluateFunc(u.Func, m, method, init.Clone(), budget, pipeline.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("softpipe: unroll %d: %w", k, err)
 		}

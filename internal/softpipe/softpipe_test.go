@@ -59,3 +59,22 @@ func TestSweepErrors(t *testing.T) {
 		t.Error("zero iters accepted")
 	}
 }
+
+func TestBestEmpty(t *testing.T) {
+	var r Result
+	if got := r.Best(); got != (Point{}) {
+		t.Errorf("Best() on empty sweep = %+v, want zero Point", got)
+	}
+}
+
+func TestSweepBudget(t *testing.T) {
+	k := workload.Kernels()[1] // dot
+	m := machine.VLIW(4, 8)
+	// A starved budget must fail the run; the default must succeed.
+	if _, err := SweepBudget(k.Name, k.Source, k.N, k.State(7), m, pipeline.URSA, []int{1}, 3); err == nil {
+		t.Error("3-cycle budget succeeded")
+	}
+	if _, err := SweepBudget(k.Name, k.Source, k.N, k.State(7), m, pipeline.URSA, []int{1}, 0); err != nil {
+		t.Errorf("default budget: %v", err)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"ursa/internal/ir"
 	"ursa/internal/machine"
 	"ursa/internal/measure"
+	"ursa/internal/modsched"
 	"ursa/internal/opt"
 	"ursa/internal/pipeline"
 	"ursa/internal/reuse"
@@ -316,6 +317,48 @@ func RunJobs(jobs []Job, workers int) ([]JobResult, error) {
 // effects against the interpreter. maxCycles bounds execution.
 func EvaluateFunc(f *Func, m *Machine, method Method, init *State, maxCycles int) (*Stats, error) {
 	return pipeline.EvaluateFunc(f, m, method, init, maxCycles, pipeline.Options{})
+}
+
+// Loop pipelining (iterative modulo scheduling driven by URSA's kernel
+// measurement; see docs/LOOPS.md).
+type (
+	// LoopResult is the outcome of software-pipelining a function: the
+	// transformed IR plus one LoopReport per pipelined loop.
+	LoopResult = modsched.Result
+	// LoopReport describes one pipelined loop — achieved initiation
+	// interval against the resMII/recMII lower bounds, the modulo
+	// variable expansion unroll factor, and kernel size.
+	LoopReport = modsched.LoopReport
+	// LoopOptions tunes the II and unroll search.
+	LoopOptions = modsched.Options
+)
+
+// ErrNoLoop reports that a function contains no canonical counted loop the
+// modulo scheduler can pipeline.
+var ErrNoLoop = modsched.ErrNoLoop
+
+// PipelineLoops software-pipelines every canonical counted loop in f for
+// machine m: it computes MII = max(resMII, recMII) from the loop-carried
+// dependence graph, searches upward for the smallest initiation interval
+// with a feasible modulo schedule, picks a modulo-variable-expansion unroll
+// whose flattened kernel URSA can allocate spill-free, and emits
+// guard/kernel/remainder blocks as ordinary IR. The input is not mutated.
+func PipelineLoops(f *Func, m *Machine) (*LoopResult, error) {
+	return modsched.Pipeline(f, m, modsched.Options{})
+}
+
+// CompileLoopFunc software-pipelines f's loops (PipelineLoops) and then
+// compiles the transformed function with the requested method, returning
+// the per-loop reports alongside the program.
+func CompileLoopFunc(f *Func, m *Machine, method Method, opts CompileOptions) (*FuncProgram, *Stats, *LoopResult, error) {
+	return pipeline.CompileLoopFunc(f, m, method, opts)
+}
+
+// CompileLoopFuncCached is CompileLoopFunc behind the tiered result cache
+// in opts.Results, under a cache key domain-separated from the straight
+// compile's so the two artifact families never collide.
+func CompileLoopFuncCached(f *Func, m *Machine, method Method, opts CompileOptions) (*CachedFunc, *Stats, *LoopResult, error) {
+	return pipeline.CompileLoopCached(f, m, method, opts)
 }
 
 // OptStats counts the rewrites Optimize performed.
