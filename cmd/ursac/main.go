@@ -27,6 +27,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"syscall"
 
@@ -51,8 +52,14 @@ func main() {
 		cacheDir     = flag.String("cache-dir", "", "persistent compile-result cache directory; warm keys skip the allocator (ignored with -run)")
 		listen       = flag.String("listen", "", "serve the compile API on this address instead of compiling (same mux as ursad)")
 		pprofOn      = flag.Bool("pprof", false, "with -listen: mount net/http/pprof under /debug/pprof/")
+		contention   = flag.Int("pprof-contention", 0, "sample mutex contention at rate N and block events at N ns (0: off)")
 	)
 	flag.Parse()
+
+	if *contention > 0 {
+		runtime.SetMutexProfileFraction(*contention)
+		runtime.SetBlockProfileRate(*contention)
+	}
 
 	if *listen != "" {
 		// Share ursad's entry path: the same server mux, started from the

@@ -6,6 +6,7 @@
 //
 //	ursad [-addr :8347] [-concurrency N] [-queue N] [-timeout 60s]
 //	      [-max-body 4194304] [-drain 30s] [-quiet] [-pprof]
+//	      [-pprof-contention N]
 //	      [-cache-dir DIR] [-cache-mem N] [-cache-disk N]
 //	      [-peer URL] [-peer-timeout 2s]
 //
@@ -36,6 +37,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -53,6 +55,7 @@ func main() {
 		drain       = flag.Duration("drain", 0, "graceful shutdown budget (0: 30s)")
 		quiet       = flag.Bool("quiet", false, "suppress operational log lines")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		contention  = flag.Int("pprof-contention", 0, "with -pprof: sample mutex contention at rate N and block events at N ns (0: off)")
 		cacheDir    = flag.String("cache-dir", "", "artifact cache directory (persistent disk tier); empty: no disk tier")
 		cacheMem    = flag.Int64("cache-mem", 0, "artifact cache memory-tier byte budget; enables caching even without -cache-dir (0 with -cache-dir: 64MiB)")
 		cacheDisk   = flag.Int64("cache-disk", 0, "artifact cache disk-tier byte budget; older artifacts evict past it (0: 1GiB)")
@@ -60,6 +63,13 @@ func main() {
 		peerTimeout = flag.Duration("peer-timeout", 0, "peer cache round-trip deadline (0: 2s); past it the daemon compiles locally")
 	)
 	flag.Parse()
+
+	if *contention > 0 {
+		// Off by default: both profiles tax every mutex/block event. With
+		// -pprof the samples land under /debug/pprof/{mutex,block}.
+		runtime.SetMutexProfileFraction(*contention)
+		runtime.SetBlockProfileRate(*contention)
+	}
 
 	logf := log.Printf
 	if *quiet {

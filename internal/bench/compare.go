@@ -20,28 +20,63 @@ func ReadJSON(path string) ([]Entry, error) {
 	return entries, nil
 }
 
+// A Gate bounds how much each benchmark dimension may regress relative to
+// the baseline, in percent (e.g. 15 for a 15% gate). A negative bound
+// disables that dimension's gate. Wall time is noisy on shared CI runners;
+// allocs/op and bytes/op are deterministic, so they can be gated far
+// tighter than ns/op.
+type Gate struct {
+	MaxNsPct     float64
+	MaxAllocsPct float64
+	MaxBytesPct  float64
+}
+
 // A Delta is one benchmark's movement between a baseline and a current
-// run. Pct is the ns/op change relative to the baseline: positive means
-// slower.
+// run across all three recorded dimensions. Percentages are relative to
+// the baseline: positive means worse (slower, more allocations, more
+// bytes).
 type Delta struct {
-	Name       string
+	Name string
+
 	BaselineNs float64
 	CurrentNs  float64
-	Pct        float64
+	Pct        float64 // ns/op change
+
+	BaselineAllocs int64
+	CurrentAllocs  int64
+	AllocsPct      float64
+
+	BaselineBytes int64
+	CurrentBytes  int64
+	BytesPct      float64
+
+	// Why lists the gates this delta tripped; empty for clean pairings.
+	Why []string
 }
 
 func (d Delta) String() string {
-	return fmt.Sprintf("%-32s %12.0f -> %12.0f ns/op  %+6.1f%%",
-		d.Name, d.BaselineNs, d.CurrentNs, d.Pct)
+	return fmt.Sprintf("%-32s %12.0f -> %12.0f ns/op %+7.1f%%  %9d -> %9d allocs/op %+7.1f%%  %10d -> %10d B/op %+7.1f%%",
+		d.Name, d.BaselineNs, d.CurrentNs, d.Pct,
+		d.BaselineAllocs, d.CurrentAllocs, d.AllocsPct,
+		d.BaselineBytes, d.CurrentBytes, d.BytesPct)
 }
 
-// Compare matches current entries against the baseline by name and
-// returns every pairing plus the subset whose ns/op regressed by more
-// than maxRegressPct (e.g. 15 for a 15% gate). Benchmarks present only
-// in the current run are new and carry no verdict; benchmarks present
-// only in the baseline are reported as missing so a silently dropped
-// workload cannot pass the gate.
-func Compare(baseline, current []Entry, maxRegressPct float64) (deltas, regressions []Delta, missing []string) {
+// pct returns the relative change from base to cur in percent, zero when
+// the baseline recorded nothing.
+func pct(base, cur float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+// Compare matches current entries against the baseline by name and returns
+// every pairing plus the subset that regressed past the gate in any gated
+// dimension — ns/op, allocs/op, or bytes/op; each regression's Why says
+// which. Benchmarks present only in the current run are new and carry no
+// verdict; benchmarks present only in the baseline are reported as missing
+// so a silently dropped workload cannot pass the gate.
+func Compare(baseline, current []Entry, gate Gate) (deltas, regressions []Delta, missing []string) {
 	cur := make(map[string]Entry, len(current))
 	for _, e := range current {
 		cur[e.Name] = e
@@ -52,12 +87,29 @@ func Compare(baseline, current []Entry, maxRegressPct float64) (deltas, regressi
 			missing = append(missing, b.Name)
 			continue
 		}
-		d := Delta{Name: b.Name, BaselineNs: b.NsPerOp, CurrentNs: c.NsPerOp}
-		if b.NsPerOp > 0 {
-			d.Pct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		d := Delta{
+			Name:           b.Name,
+			BaselineNs:     b.NsPerOp,
+			CurrentNs:      c.NsPerOp,
+			Pct:            pct(b.NsPerOp, c.NsPerOp),
+			BaselineAllocs: b.AllocsPerOp,
+			CurrentAllocs:  c.AllocsPerOp,
+			AllocsPct:      pct(float64(b.AllocsPerOp), float64(c.AllocsPerOp)),
+			BaselineBytes:  b.BytesPerOp,
+			CurrentBytes:   c.BytesPerOp,
+			BytesPct:       pct(float64(b.BytesPerOp), float64(c.BytesPerOp)),
+		}
+		if gate.MaxNsPct >= 0 && d.Pct > gate.MaxNsPct {
+			d.Why = append(d.Why, fmt.Sprintf("ns/op %+.1f%% > %.0f%%", d.Pct, gate.MaxNsPct))
+		}
+		if gate.MaxAllocsPct >= 0 && d.AllocsPct > gate.MaxAllocsPct {
+			d.Why = append(d.Why, fmt.Sprintf("allocs/op %+.1f%% > %.0f%%", d.AllocsPct, gate.MaxAllocsPct))
+		}
+		if gate.MaxBytesPct >= 0 && d.BytesPct > gate.MaxBytesPct {
+			d.Why = append(d.Why, fmt.Sprintf("bytes/op %+.1f%% > %.0f%%", d.BytesPct, gate.MaxBytesPct))
 		}
 		deltas = append(deltas, d)
-		if d.Pct > maxRegressPct {
+		if len(d.Why) > 0 {
 			regressions = append(regressions, d)
 		}
 	}

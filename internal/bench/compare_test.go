@@ -16,7 +16,8 @@ func TestCompare(t *testing.T) {
 		{Name: "ReduceLarge/full", NsPerOp: 2400}, // +20%: regression
 		{Name: "Brand/new", NsPerOp: 5},           // no baseline: no verdict
 	}
-	deltas, regs, missing := Compare(baseline, current, 15)
+	nsOnly := Gate{MaxNsPct: 15, MaxAllocsPct: -1, MaxBytesPct: -1}
+	deltas, regs, missing := Compare(baseline, current, nsOnly)
 	if len(deltas) != 2 {
 		t.Fatalf("deltas = %v, want 2 pairings", deltas)
 	}
@@ -33,7 +34,7 @@ func TestCompare(t *testing.T) {
 	// An improvement is a negative delta, never a regression.
 	_, regs, _ = Compare(
 		[]Entry{{Name: "a", NsPerOp: 1000}},
-		[]Entry{{Name: "a", NsPerOp: 500}}, 15)
+		[]Entry{{Name: "a", NsPerOp: 500}}, nsOnly)
 	if len(regs) != 0 {
 		t.Errorf("improvement flagged as regression: %v", regs)
 	}
@@ -41,9 +42,44 @@ func TestCompare(t *testing.T) {
 	// Exactly at the threshold passes; the gate is strictly greater-than.
 	_, regs, _ = Compare(
 		[]Entry{{Name: "a", NsPerOp: 1000}},
-		[]Entry{{Name: "a", NsPerOp: 1150}}, 15)
+		[]Entry{{Name: "a", NsPerOp: 1150}}, nsOnly)
 	if len(regs) != 0 {
 		t.Errorf("threshold-exact delta flagged: %v", regs)
+	}
+}
+
+func TestCompareGatesAllocsAndBytes(t *testing.T) {
+	gate := Gate{MaxNsPct: 15, MaxAllocsPct: 10, MaxBytesPct: 10}
+	baseline := []Entry{{Name: "a", NsPerOp: 1000, AllocsPerOp: 1000, BytesPerOp: 1 << 20}}
+
+	// Flat wall time but 2x the allocations: the alloc gate must fire.
+	_, regs, _ := Compare(baseline,
+		[]Entry{{Name: "a", NsPerOp: 1000, AllocsPerOp: 2000, BytesPerOp: 1 << 20}}, gate)
+	if len(regs) != 1 {
+		t.Fatalf("alloc regression not caught: %v", regs)
+	}
+	if len(regs[0].Why) != 1 || regs[0].Why[0] == "" {
+		t.Errorf("Why = %v, want one alloc reason", regs[0].Why)
+	}
+
+	// Bytes regression alone also fires.
+	_, regs, _ = Compare(baseline,
+		[]Entry{{Name: "a", NsPerOp: 1000, AllocsPerOp: 1000, BytesPerOp: 2 << 20}}, gate)
+	if len(regs) != 1 {
+		t.Fatalf("bytes regression not caught: %v", regs)
+	}
+
+	// Fewer allocations never regress, and disabled gates stay silent.
+	_, regs, _ = Compare(baseline,
+		[]Entry{{Name: "a", NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 1 << 10}}, gate)
+	if len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+	off := Gate{MaxNsPct: -1, MaxAllocsPct: -1, MaxBytesPct: -1}
+	_, regs, _ = Compare(baseline,
+		[]Entry{{Name: "a", NsPerOp: 9000, AllocsPerOp: 9000, BytesPerOp: 9 << 20}}, off)
+	if len(regs) != 0 {
+		t.Errorf("disabled gates flagged: %v", regs)
 	}
 }
 

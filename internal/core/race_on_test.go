@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled trims the heavyweight fuzz sweeps under the race detector:
+// the detector slows the reduction loop by an order of magnitude, and the
+// same seeds run at full width in the plain test pass.
+const raceEnabled = true

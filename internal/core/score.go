@@ -33,25 +33,17 @@ func ScoreCandidates(g *dag.Graph, opts Options) (int, error) {
 	resources := Resources(g, m)
 	lat := func(n *dag.Node) int { return m.LatencyOf(n.Instr.Op) }
 
-	results := make(map[string]*measure.Result, len(resources))
-	excess := 0
-	for _, r := range resources {
-		res := opts.Cache.Measure(g, r.Name, r.Build)
-		results[r.Name] = res
-		if d := res.Width - r.Limit; d > 0 {
-			excess += d
-		}
-	}
-	hammocks := g.Hammocks()
-	cands := collectCandidates(g, resources, results, opts, hammocks)
+	ev := newEvaluator(g, resources, lat, &opts)
+	defer ev.close()
+	st := ev.state()
+	cands := collectCandidates(g, resources, st.results, opts, st.hammocks)
 	if len(cands) == 0 {
 		return 0, nil
 	}
-	ev := newEvaluator(g, resources, results, g.NestLevels(hammocks), lat, &opts)
 	outs, err := ev.evalAll(cands)
 	if err != nil {
 		return 0, err
 	}
-	pickBest(outs, excess, styleDefault)
+	pickBest(outs, st.excess, styleDefault)
 	return len(cands), nil
 }

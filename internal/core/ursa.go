@@ -325,20 +325,14 @@ func runOnce(g *dag.Graph, opts Options, style scoreStyle) (*Report, error) {
 		rep.Limits[r.Name] = r.Limit
 	}
 
-	widths := func(gr *dag.Graph) (map[string]*measure.Result, int) {
-		out := make(map[string]*measure.Result, len(resources))
-		excess := 0
-		for _, r := range resources {
-			res := opts.Cache.Measure(gr, r.Name, r.Build)
-			out[r.Name] = res
-			if d := res.Width - r.Limit; d > 0 {
-				excess += d
-			}
-		}
-		return out, excess
-	}
+	// One evaluator for the whole run: its scratch graphs, closures, and
+	// measurement buffers persist across reduction iterations, and between
+	// iterations its idle workers pre-score surviving candidates.
+	ev := newEvaluator(g, resources, lat, &opts)
+	defer ev.close()
 
-	results, excess := widths(g)
+	st := ev.state()
+	results, excess := st.results, st.excess
 	for name, res := range results {
 		rep.InitialWidths[name] = res.Width
 	}
@@ -365,14 +359,14 @@ func runOnce(g *dag.Graph, opts Options, style scoreStyle) (*Report, error) {
 		// the transformed DAG.
 		plateau := 4
 		for rep.Iterations < maxIters && excess > 0 {
-			// One Hammocks pass per iteration, shared by excess-set location
-			// and by the delta measurements' priority levels.
-			hammocks := g.Hammocks()
-			cands := collectCandidates(g, phase, results, opts, hammocks)
+			// One Hammocks pass per iteration (memoized in the evaluator's
+			// generation state), shared by excess-set location, the delta
+			// measurements' priority levels, and speculating workers.
+			st := ev.state()
+			cands := collectCandidates(g, phase, st.results, opts, st.hammocks)
 			if len(cands) == 0 {
 				break
 			}
-			ev := newEvaluator(g, resources, results, g.NestLevels(hammocks), lat, &opts)
 			outs, err := ev.evalAll(cands)
 			if err != nil {
 				return nil, err
@@ -389,9 +383,14 @@ func runOnce(g *dag.Graph, opts Options, style scoreStyle) (*Report, error) {
 				plateau--
 			}
 			if err := best.cand.Apply(g); err != nil {
-				// The clone applied cleanly, so the real graph must too.
+				// The scratch applied cleanly, so the real graph must too.
 				return nil, fmt.Errorf("core: committing %s: %v", best.cand, err)
 			}
+			ev.commit(best.cand)
+			// While this thread remeasures the committed graph and builds
+			// the next candidate list, idle workers pre-score the surviving
+			// candidates against it.
+			ev.speculate(cands, best.cand)
 			rep.Iterations++
 			if best.cand.Kind == transform.Spill {
 				rep.SpillsInserted++
@@ -405,7 +404,8 @@ func runOnce(g *dag.Graph, opts Options, style scoreStyle) (*Report, error) {
 			})
 			tracef(opts.Trace, "ursa: applied %s (%s): excess %d -> %d",
 				best.cand.Kind, best.cand.Note, excess, bestExcess)
-			results, excess = widths(g)
+			nst := ev.state()
+			results, excess = nst.results, nst.excess
 		}
 	}
 

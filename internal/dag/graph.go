@@ -212,6 +212,25 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// TruncateNodes discards every node with id >= n, rewinding the graph to an
+// earlier NumNodes snapshot. The caller must already have removed every
+// edge touching a discarded node (RemoveEdge); the method panics if one
+// survives. The candidate evaluator uses this to undo the store/load nodes
+// a tentative spill added to its scratch graph.
+func (g *Graph) TruncateNodes(n int) {
+	if n < 2 || n >= len(g.Nodes) {
+		return
+	}
+	for i := n; i < len(g.Nodes); i++ {
+		if len(g.succ[i]) > 0 || len(g.pred[i]) > 0 {
+			panic(fmt.Sprintf("dag: TruncateNodes(%d): node %d still has edges", n, i))
+		}
+	}
+	g.Nodes = g.Nodes[:n]
+	g.succ = g.succ[:n]
+	g.pred = g.pred[:n]
+}
+
 // DefNode returns the id of the node defining register v, or -1.
 func (g *Graph) DefNode(v ir.VReg) int {
 	for _, n := range g.Nodes {

@@ -186,9 +186,7 @@ func (g *Graph) Hammocks() []*Hammock {
 }
 
 func containsAll(outer, inner *order.BitSet) bool {
-	rest := inner.Clone()
-	rest.AndNot(outer)
-	return rest.Count() == 0
+	return inner.SubsetOf(outer)
 }
 
 // NestLevels returns, for every node, the nesting level of the smallest

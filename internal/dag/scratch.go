@@ -1,0 +1,124 @@
+package dag
+
+import "sort"
+
+// Scratch holds reusable buffers for the graph analyses the candidate
+// evaluator runs once per tentative transformation: topological orders,
+// critical-path lengths, and depths. One Scratch belongs to one worker;
+// results computed through it are bit-identical to the allocating
+// TopoOrder/CriticalPath/Depths equivalents, only the storage is reused.
+// The zero value is ready to use.
+type Scratch struct {
+	indeg    []int
+	frontier []int
+	topo     []int
+	dist     []int
+	depth    []int
+}
+
+// grow resizes every buffer to hold n nodes.
+func (s *Scratch) grow(n int) {
+	if cap(s.indeg) < n {
+		s.indeg = make([]int, n)
+		s.frontier = make([]int, 0, n)
+		s.topo = make([]int, 0, n)
+		s.dist = make([]int, n)
+		s.depth = make([]int, n)
+	}
+	s.indeg = s.indeg[:n]
+	s.dist = s.dist[:n]
+	s.depth = s.depth[:n]
+}
+
+// TopoInto computes the graph's deterministic topological order (the same
+// order TopoOrder returns: ties broken by node id) into the scratch's
+// buffer. The result is valid until the next call with the same scratch.
+func (g *Graph) TopoInto(s *Scratch) []int {
+	n := len(g.Nodes)
+	s.grow(n)
+	indeg := s.indeg
+	clear(indeg)
+	for _, ss := range g.succ {
+		for _, b := range ss {
+			indeg[b]++
+		}
+	}
+	frontier := s.frontier[:0]
+	for i, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	sort.Ints(frontier)
+	out := s.topo[:0]
+	for len(frontier) > 0 {
+		a := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, a)
+		added := false
+		for _, b := range g.succ[a] {
+			indeg[b]--
+			if indeg[b] == 0 {
+				frontier = append(frontier, b)
+				added = true
+			}
+		}
+		if added {
+			sort.Ints(frontier)
+		}
+	}
+	s.topo = out
+	return out
+}
+
+// CriticalPathLen returns the same length CriticalPath computes, without
+// reconstructing the path and without allocating.
+func (g *Graph) CriticalPathLen(latency func(*Node) int, s *Scratch) int {
+	topo := g.TopoInto(s)
+	dist := s.dist
+	for i := range dist {
+		dist[i] = -1 << 30
+	}
+	dist[g.Root] = 0
+	for _, a := range topo {
+		if dist[a] == -1<<30 {
+			continue
+		}
+		la := 0
+		if !g.Nodes[a].IsPseudo() && latency != nil {
+			la = latency(g.Nodes[a])
+		}
+		for _, b := range g.succ[a] {
+			if dist[a]+la > dist[b] {
+				dist[b] = dist[a] + la
+			}
+		}
+	}
+	if dist[g.Leaf] < 0 {
+		return 0
+	}
+	return dist[g.Leaf]
+}
+
+// DepthsInto computes the same longest-path-from-root depths Depths
+// returns, into the scratch's buffer. The result is valid until the next
+// call with the same scratch.
+func (g *Graph) DepthsInto(s *Scratch) []int {
+	topo := g.TopoInto(s)
+	depth := s.depth
+	for i := range depth {
+		depth[i] = -1 << 30
+	}
+	depth[g.Root] = 0
+	for _, a := range topo {
+		if depth[a] == -1<<30 {
+			continue
+		}
+		for _, b := range g.succ[a] {
+			if depth[a]+1 > depth[b] {
+				depth[b] = depth[a] + 1
+			}
+		}
+	}
+	return depth
+}

@@ -230,6 +230,25 @@ func (f *Func) RegOrNew(name string, class Class) VReg {
 // valid VReg values are 1..NumRegs-1).
 func (f *Func) NumRegs() int { return len(f.regName) }
 
+// TruncateRegs discards every register with value >= n, rewinding the
+// function's register metadata to an earlier NumRegs snapshot. The caller
+// must guarantee no instruction still refers to a discarded register. The
+// candidate evaluator uses this to undo the registers a tentative spill
+// allocated on its scratch function, so one long-lived clone serves every
+// spill candidate instead of re-cloning per candidate.
+func (f *Func) TruncateRegs(n int) {
+	if n < 1 || n >= len(f.regName) {
+		return
+	}
+	for _, name := range f.regName[n:] {
+		if v, ok := f.byName[name]; ok && int(v) >= n {
+			delete(f.byName, name)
+		}
+	}
+	f.regName = f.regName[:n]
+	f.regClass = f.regClass[:n]
+}
+
 // ClassOf returns the class of a register.
 func (f *Func) ClassOf(v VReg) Class {
 	if v <= 0 || int(v) >= len(f.regClass) {

@@ -49,6 +49,38 @@ func (m *Incremental) AddEdge(l, r int) {
 	m.adj[l] = append(m.adj[l], int32(r))
 }
 
+// Reset rewinds the matcher to an empty graph over nl left and nr right
+// vertices, keeping every buffer's capacity — including each left vertex's
+// adjacency list. A pooled matcher reset per measurement is how the delta
+// path avoids rebuilding its edge storage for every tentative candidate.
+func (m *Incremental) Reset(nl, nr int) {
+	if cap(m.adj) < nl {
+		m.adj = make([][]int32, nl)
+	}
+	m.adj = m.adj[:nl]
+	for i := range m.adj {
+		m.adj[i] = m.adj[i][:0]
+	}
+	m.matchL = resetInt32(m.matchL, nl, -1)
+	m.matchR = resetInt32(m.matchR, nr, -1)
+	m.visit = resetInt32(m.visit, nr, 0)
+	m.nl, m.nr = nl, nr
+	m.stamp = 0
+}
+
+// resetInt32 returns a slice of length n filled with v, reusing s's storage
+// when it is large enough.
+func resetInt32(s []int32, n int, v int32) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
 // Seed installs a known-valid matching before augmentation: pairs maps each
 // left vertex to its matched right vertex, -1 for unmatched. This is the
 // warm start behind the measurement delta path: a maximum matching over an

@@ -1,0 +1,128 @@
+package measure
+
+import (
+	"slices"
+
+	"ursa/internal/matching"
+	"ursa/internal/reuse"
+)
+
+// DeltaScratch holds the reusable buffers behind ChainsDeltaWidth: a pooled
+// incremental matcher plus edge and pair slices. One scratch belongs to one
+// evaluator worker; the zero value is ready to use.
+type DeltaScratch struct {
+	m     *matching.Incremental
+	edges []relEdge
+	pairs []int
+}
+
+// sortedEdgesInto is sortedEdges appending into a reused buffer, sorted with
+// the same (priority, a, b) key. The generic comparison avoids the
+// interface-boxing allocations of sort.Slice.
+func sortedEdgesInto(dst []relEdge, r *reuse.Reuse, levels []int) []relEdge {
+	dst = dst[:0]
+	for a := 0; a < r.NumItems(); a++ {
+		r.Rel.Row(a).ForEach(func(b int) {
+			prio := 0
+			if levels != nil {
+				la := levels[r.Items[a].Node]
+				lb := levels[r.Items[b].Node]
+				if la > lb {
+					prio = la - lb
+				} else {
+					prio = lb - la
+				}
+			}
+			dst = append(dst, relEdge{a, b, prio})
+		})
+	}
+	slices.SortFunc(dst, func(x, y relEdge) int {
+		if x.prio != y.prio {
+			return x.prio - y.prio
+		}
+		if x.a != y.a {
+			return x.a - y.a
+		}
+		return x.b - y.b
+	})
+	return dst
+}
+
+// pairsInto is pairsOf writing into a reused buffer.
+func pairsInto(dst []int, prev *Result) []int {
+	n := len(prev.ChainOf)
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = -1
+	}
+	for _, c := range prev.Chains {
+		for k := 0; k+1 < len(c); k++ {
+			dst[c[k]] = c[k+1]
+		}
+	}
+	return dst
+}
+
+// ChainsDeltaWidth returns the width ChainsDelta would compute — the exact
+// from-scratch minimum chain count of r under the given hammock levels —
+// without building the decomposition and without allocating in steady state:
+// the matcher, edge list, and seed pairs all live in the scratch. This is the
+// candidate evaluator's scoring primitive; the decomposition itself is only
+// rebuilt (via ChainsDelta) for the one candidate that commits.
+func ChainsDeltaWidth(prev *Result, r *reuse.Reuse, levels []int, s *DeltaScratch) int {
+	n := r.NumItems()
+	s.edges = sortedEdgesInto(s.edges, r, levels)
+	edges := s.edges
+	if s.m == nil {
+		s.m = matching.NewIncremental(n, n)
+	} else {
+		s.m.Reset(n, n)
+	}
+	m := s.m
+
+	if prev == nil || prev.R == nil || prev.R.NumItems() != n {
+		// Full prioritized matching, pooled storage.
+		for i := 0; i < len(edges); {
+			j := i
+			for j < len(edges) && edges[j].prio == edges[i].prio {
+				m.AddEdge(edges[j].a, edges[j].b)
+				j++
+			}
+			m.Augment()
+			i = j
+		}
+		return n - m.Size()
+	}
+
+	// Warm start: partition in place into surviving and fresh edges. The
+	// surviving edges go straight into the matcher (the seeded matching
+	// already covers them maximally); the fresh ones are compacted to the
+	// front of the buffer, preserving their priority order.
+	old := prev.R.Rel
+	nf := 0
+	for _, e := range edges {
+		if old.Has(e.a, e.b) {
+			m.AddEdge(e.a, e.b)
+		} else {
+			edges[nf] = e
+			nf++
+		}
+	}
+	fresh := edges[:nf]
+	s.pairs = pairsInto(s.pairs, prev)
+	m.Seed(s.pairs)
+
+	for i := 0; i < len(fresh); {
+		j := i
+		for j < len(fresh) && fresh[j].prio == fresh[i].prio {
+			m.AddEdge(fresh[j].a, fresh[j].b)
+			j++
+		}
+		m.Augment()
+		i = j
+	}
+	return n - m.Size()
+}

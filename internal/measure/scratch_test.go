@@ -1,0 +1,56 @@
+package measure
+
+import (
+	"math/rand"
+	"testing"
+
+	"ursa/internal/dag"
+	"ursa/internal/ir"
+	"ursa/internal/order"
+	"ursa/internal/reuse"
+)
+
+// TestChainsDeltaWidthMatchesChainsDelta drives one reused scratch through
+// many random graphs — both the cold path (no previous result) and the
+// warm-start path seeded from a measurement of a random pair subset — and
+// requires the pooled width to equal the allocating implementations exactly.
+func TestChainsDeltaWidthMatchesChainsDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s DeltaScratch
+	for trial := 0; trial < 60; trial++ {
+		f := randomBlock(rng, 4+rng.Intn(12))
+		g, err := dag.Build(f.Blocks[0])
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		hs := g.Hammocks()
+		levels := g.NestLevels(hs)
+		for _, r := range []*reuse.Reuse{reuse.FU(g, reuse.AllFUs), reuse.Reg(g, ir.ClassInt)} {
+			full := Chains(r, levels)
+			if w := ChainsDeltaWidth(nil, r, levels, &s); w != full.Width {
+				t.Fatalf("trial %d: cold width %d != %d", trial, w, full.Width)
+			}
+
+			// Warm start from a random subset of the pairs.
+			n := r.NumItems()
+			sub := order.NewRelation(n)
+			for a := 0; a < n; a++ {
+				r.Rel.Row(a).ForEach(func(b int) {
+					if rng.Intn(2) == 0 {
+						sub.Add(a, b)
+					}
+				})
+			}
+			rsub := *r
+			rsub.Rel = sub
+			prev := Chains(&rsub, levels)
+			want := ChainsDelta(prev, r, levels)
+			if want.Width != full.Width {
+				t.Fatalf("trial %d: ChainsDelta width %d != full %d", trial, want.Width, full.Width)
+			}
+			if w := ChainsDeltaWidth(prev, r, levels, &s); w != want.Width {
+				t.Fatalf("trial %d: warm width %d != %d", trial, w, want.Width)
+			}
+		}
+	}
+}

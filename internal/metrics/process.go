@@ -18,3 +18,39 @@ func AddCandidateEvals(n uint64) { candidateEvals.Add(n) }
 // CandidateEvals returns the process-wide total of tentative candidate
 // evaluations performed by the reduction loop.
 func CandidateEvals() uint64 { return candidateEvals.Load() }
+
+var evalIdleNanos atomic.Uint64
+
+// AddEvalIdleNanos records nanoseconds evaluator workers spent idle during
+// a candidate-evaluation batch: batch wall time times the worker count,
+// minus the summed per-job busy time. Persistent idle time at high -j means
+// the batch is too small or too skewed to fill the pool.
+func AddEvalIdleNanos(n uint64) { evalIdleNanos.Add(n) }
+
+// EvalIdleNanos returns the process-wide evaluator worker idle time.
+func EvalIdleNanos() uint64 { return evalIdleNanos.Load() }
+
+var evalBusyNanos atomic.Uint64
+
+// AddEvalBusyNanos records nanoseconds evaluator workers spent running
+// candidate evaluations (the busy complement of AddEvalIdleNanos).
+func AddEvalBusyNanos(n uint64) { evalBusyNanos.Add(n) }
+
+// EvalBusyNanos returns the process-wide evaluator worker busy time.
+func EvalBusyNanos() uint64 { return evalBusyNanos.Load() }
+
+var specEvals, specHits atomic.Uint64
+
+// AddSpeculativeEvals records n candidate evaluations performed
+// speculatively on idle workers between reduction iterations.
+func AddSpeculativeEvals(n uint64) { specEvals.Add(n) }
+
+// SpeculativeEvals returns the process-wide speculative evaluation total.
+func SpeculativeEvals() uint64 { return specEvals.Load() }
+
+// AddSpeculativeHits records n speculative results that the next iteration
+// actually consumed (the rest were invalidated or never requested).
+func AddSpeculativeHits(n uint64) { specHits.Add(n) }
+
+// SpeculativeHits returns the process-wide speculative hit total.
+func SpeculativeHits() uint64 { return specHits.Load() }

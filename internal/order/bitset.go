@@ -21,6 +21,9 @@ func NewBitSet(n int) *BitSet {
 	return &BitSet{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// bitWords returns the number of 64-bit words backing a set of capacity n.
+func bitWords(n int) int { return (n + 63) / 64 }
+
 // Len returns the capacity of the set.
 func (s *BitSet) Len() int { return s.n }
 
@@ -77,6 +80,19 @@ func (s *BitSet) Intersects(t *BitSet) bool {
 		}
 	}
 	return false
+}
+
+// SubsetOf reports whether every member of s is also in t, without
+// allocating. This is the containment test the hammock nesting-level
+// assignment runs O(H²) times per Hammocks call; the previous
+// clone-and-subtract formulation allocated a bitset per pair.
+func (s *BitSet) SubsetOf(t *BitSet) bool {
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Clone returns a copy of the set.

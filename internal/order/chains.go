@@ -118,8 +118,11 @@ func LongestChain(rel *Relation) Chain {
 	if !ok {
 		return nil
 	}
-	longest := make([]int, rel.Size()) // longest chain ending at i
-	prev := make([]int, rel.Size())
+	bp := getInts(2 * rel.Size())
+	defer putInts(bp)
+	buf := (*bp)[:2*rel.Size()]
+	longest := buf[:rel.Size()] // longest chain ending at i
+	prev := buf[rel.Size():]
 	for i := range prev {
 		prev[i] = -1
 		longest[i] = 1

@@ -1,22 +1,42 @@
 package order
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Relation is a binary relation over {0..n-1}, stored as one bitset of
 // successors per element. For URSA it represents the strict partial orders
 // CanReuse_R and DAG reachability.
+//
+// All rows share one flat []uint64 slab, so constructing a relation costs
+// three allocations regardless of n, resetting it is one memclr, and
+// copying one relation into another of equal size is a single word copy —
+// the operations the candidate evaluator performs per tentative
+// transformation.
 type Relation struct {
-	rows []*BitSet
+	rows []BitSet
+	slab []uint64
 	n    int
 }
 
 // NewRelation returns an empty relation over n elements.
 func NewRelation(n int) *Relation {
-	r := &Relation{rows: make([]*BitSet, n), n: n}
+	w := bitWords(n)
+	r := &Relation{
+		rows: make([]BitSet, n),
+		slab: make([]uint64, n*w),
+		n:    n,
+	}
 	for i := range r.rows {
-		r.rows[i] = NewBitSet(n)
+		r.rows[i] = BitSet{words: r.slab[i*w : (i+1)*w : (i+1)*w], n: n}
 	}
 	return r
+}
+
+// Reset removes every pair, keeping the storage.
+func (r *Relation) Reset() {
+	clear(r.slab)
 }
 
 // Size returns the number of elements of the ground set.
@@ -33,13 +53,13 @@ func (r *Relation) Has(a, b int) bool { return r.rows[a].Has(b) }
 
 // Row returns the successor set of a. The result aliases internal storage
 // and must not be mutated by callers.
-func (r *Relation) Row(a int) *BitSet { return r.rows[a] }
+func (r *Relation) Row(a int) *BitSet { return &r.rows[a] }
 
 // Pairs returns the number of pairs in the relation.
 func (r *Relation) Pairs() int {
 	c := 0
-	for _, row := range r.rows {
-		c += row.Count()
+	for _, w := range r.slab {
+		c += bits.OnesCount64(w)
 	}
 	return c
 }
@@ -47,23 +67,20 @@ func (r *Relation) Pairs() int {
 // Clone deep-copies the relation.
 func (r *Relation) Clone() *Relation {
 	c := NewRelation(r.n)
-	for i, row := range r.rows {
-		c.rows[i].CopyFrom(row)
-	}
+	copy(c.slab, r.slab)
 	return c
 }
 
 // CopyFrom overwrites r with the contents of o. Both relations must be over
 // ground sets of the same size. Reusing one preallocated relation as a
 // copy target is how the candidate evaluator resets its scratch closure
-// between tentative applications without reallocating.
+// between tentative applications without reallocating; with both sides
+// slab-backed the copy is a single memmove.
 func (r *Relation) CopyFrom(o *Relation) {
 	if r.n != o.n {
 		panic(fmt.Sprintf("order: CopyFrom size mismatch: %d vs %d", r.n, o.n))
 	}
-	for i, row := range o.rows {
-		r.rows[i].CopyFrom(row)
-	}
+	copy(r.slab, o.slab)
 }
 
 // TransitiveClosure returns the transitive closure of r, computed row-wise
@@ -73,22 +90,23 @@ func (r *Relation) TransitiveClosure() *Relation {
 	c := r.Clone()
 	if topo, ok := c.TopoOrder(); ok {
 		// Process in reverse topological order so each successor row is
-		// already complete when it is folded in.
+		// already complete when it is folded in. Iterating r's row (never
+		// mutated here) lets ForEach replace the allocating Members call.
 		for i := len(topo) - 1; i >= 0; i-- {
 			a := topo[i]
-			row := c.rows[a]
-			for _, b := range r.rows[a].Members() {
-				row.Or(c.rows[b])
-			}
+			row := &c.rows[a]
+			r.rows[a].ForEach(func(b int) {
+				row.Or(&c.rows[b])
+			})
 		}
 		return c
 	}
 	for changed := true; changed; {
 		changed = false
 		for a := 0; a < c.n; a++ {
-			row := c.rows[a]
+			row := &c.rows[a]
 			for _, b := range row.Members() {
-				if row.Or(c.rows[b]) {
+				if row.Or(&c.rows[b]) {
 					changed = true
 				}
 			}
@@ -108,7 +126,7 @@ func (r *Relation) AddClosureEdge(u, v int) {
 	if u == v || r.Has(u, v) {
 		return
 	}
-	rv := r.rows[v]
+	rv := &r.rows[v]
 	r.rows[u].Or(rv)
 	r.rows[u].Set(v)
 	for a := 0; a < r.n; a++ {
@@ -125,8 +143,11 @@ func (r *Relation) AddClosureEdge(u, v int) {
 func (r *Relation) TransitiveReduction() *Relation {
 	closure := r.TransitiveClosure()
 	red := r.Clone()
+	sp := getInts(r.n)
+	defer putInts(sp)
 	for a := 0; a < r.n; a++ {
-		succs := r.rows[a].Members()
+		succs := (*sp)[:0]
+		r.rows[a].ForEach(func(b int) { succs = append(succs, b) })
 		for _, b := range succs {
 			for _, c := range succs {
 				if c != b && closure.Has(c, b) {
@@ -142,11 +163,15 @@ func (r *Relation) TransitiveReduction() *Relation {
 // TopoOrder returns a topological order of the relation viewed as a digraph,
 // and whether one exists (false means the relation has a cycle).
 func (r *Relation) TopoOrder() ([]int, bool) {
-	indeg := make([]int, r.n)
+	bp := getInts(2 * r.n)
+	defer putInts(bp)
+	buf := (*bp)[:2*r.n]
+	indeg := buf[:r.n]
+	clear(indeg)
 	for a := 0; a < r.n; a++ {
 		r.rows[a].ForEach(func(b int) { indeg[b]++ })
 	}
-	queue := make([]int, 0, r.n)
+	queue := buf[r.n:][:0]
 	for i, d := range indeg {
 		if d == 0 {
 			queue = append(queue, i)

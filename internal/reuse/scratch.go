@@ -1,0 +1,247 @@
+package reuse
+
+import (
+	"ursa/internal/dag"
+	"ursa/internal/ir"
+	"ursa/internal/order"
+)
+
+// KillScratch holds the reusable state behind SelectKillsInto and
+// UpdateClosureInto: per-value use lists precomputed once per reduction
+// iteration, plus the kill-selection working buffers that SelectKills would
+// otherwise allocate per candidate. One scratch belongs to one evaluator
+// worker; the zero value is ready to use.
+type KillScratch struct {
+	// uses[i] lists the nodes reading item i's register, in id order —
+	// filled by PrecomputeUses. Sequencing edges never change uses, so one
+	// precomputation serves every seq candidate of an iteration.
+	uses [][]int
+
+	useArena []int   // backing storage for uses
+	byReg    [][]int // register -> use-node list, reused across calls
+
+	kill      []int
+	maximal   []int
+	candNode  []int   // candidate killer node ids, in first-seen order
+	candItems [][]int // per candidate killer: item indices it can kill
+	candIdx   []int   // node id -> index into candNode+1, 0 = absent
+	candDead  []bool  // candidate killer consumed by the greedy cover
+	remaining []bool
+}
+
+// PrecomputeUses fills the scratch's per-item use lists for the given item
+// set: the same lists g.UseNodes returns, computed in one pass over the
+// instructions instead of one pass per item.
+func (ks *KillScratch) PrecomputeUses(g *dag.Graph, items []Item) {
+	nr := g.Func.NumRegs()
+	if cap(ks.byReg) < nr {
+		ks.byReg = make([][]int, nr)
+	}
+	ks.byReg = ks.byReg[:nr]
+	for i := range ks.byReg {
+		ks.byReg[i] = ks.byReg[i][:0]
+	}
+	for _, n := range g.Nodes {
+		if n.Instr == nil {
+			continue
+		}
+		for _, u := range n.Instr.Uses() {
+			if u <= 0 || int(u) >= nr {
+				continue
+			}
+			l := ks.byReg[u]
+			// A node reading the register through several operands counts
+			// once, matching UseNodes' per-node dedupe.
+			if len(l) > 0 && l[len(l)-1] == n.ID {
+				continue
+			}
+			ks.byReg[u] = append(l, n.ID)
+		}
+	}
+	if cap(ks.uses) < len(items) {
+		ks.uses = make([][]int, len(items))
+	}
+	ks.uses = ks.uses[:len(items)]
+	for i, it := range items {
+		if it.Reg == ir.NoReg {
+			ks.uses[i] = nil
+			continue
+		}
+		ks.uses[i] = ks.byReg[it.Reg]
+	}
+}
+
+// SelectKillsInto is SelectKills with every allocation hoisted into the
+// scratch: use lists come from PrecomputeUses, node depths from the caller
+// (depth must equal g.Depths() for the current graph), and the greedy
+// minimum cover runs over slice-backed candidate tables. The returned slice
+// is owned by the scratch — valid until the next call — and its contents are
+// identical to SelectKills' for the same inputs: the cover's
+// (cover, depth, node-id) selection key is a total order, so replacing map
+// iteration with slice iteration cannot change any pick.
+func SelectKillsInto(g *dag.Graph, items []Item, reach *order.Relation, depth []int, ks *KillScratch) []int {
+	n := len(items)
+	ks.kill = growInts(ks.kill, n)
+	kill := ks.kill
+	nn := g.NumNodes()
+	ks.candIdx = growInts(ks.candIdx, nn)
+	candIdx := ks.candIdx
+	clear(candIdx)
+	ks.candNode = ks.candNode[:0]
+	ks.remaining = growBools(ks.remaining, n)
+	remaining := ks.remaining
+	nRemaining := 0
+	for i := range ks.candItems {
+		ks.candItems[i] = ks.candItems[i][:0]
+	}
+
+	for i, it := range items {
+		kill[i] = -1
+		remaining[i] = false
+		if g.LiveOut[it.Reg] {
+			continue
+		}
+		uses := ks.uses[i]
+		maximal := ks.maximal[:0]
+		for _, u := range uses {
+			isMax := true
+			for _, w := range uses {
+				if w != u && reach.Has(u, w) {
+					isMax = false
+					break
+				}
+			}
+			if isMax {
+				maximal = append(maximal, u)
+			}
+		}
+		ks.maximal = maximal
+		if len(maximal) == 0 {
+			continue
+		}
+		remaining[i] = true
+		nRemaining++
+		for _, u := range maximal {
+			ci := candIdx[u] - 1
+			if ci < 0 {
+				ci = len(ks.candNode)
+				candIdx[u] = ci + 1
+				ks.candNode = append(ks.candNode, u)
+				if ci == len(ks.candItems) {
+					ks.candItems = append(ks.candItems, nil)
+				}
+			}
+			ks.candItems[ci] = append(ks.candItems[ci], i)
+		}
+	}
+
+	ks.candDead = growBools(ks.candDead, len(ks.candNode))
+	dead := ks.candDead
+	for i := range dead {
+		dead[i] = false
+	}
+	for nRemaining > 0 {
+		best, bestCover := -1, -1
+		for ci, u := range ks.candNode {
+			if dead[ci] {
+				continue
+			}
+			cover := 0
+			for _, i := range ks.candItems[ci] {
+				if remaining[i] {
+					cover++
+				}
+			}
+			if cover == 0 {
+				continue
+			}
+			if cover > bestCover ||
+				(cover == bestCover && (depth[u] > depth[best] ||
+					(depth[u] == depth[best] && u < best))) {
+				best, bestCover = u, cover
+			}
+		}
+		if best == -1 {
+			break
+		}
+		bi := candIdx[best] - 1
+		for _, i := range ks.candItems[bi] {
+			if remaining[i] {
+				kill[i] = best
+				remaining[i] = false
+				nRemaining--
+			}
+		}
+		dead[bi] = true
+	}
+	return kill
+}
+
+// UpdateClosureInto is UpdateClosure writing into caller-owned storage: dst
+// receives the updated structure and dst.Rel must already hold a cleared
+// relation over len(r.Items) items (the evaluator keeps one per worker and
+// Resets it between candidates). depth must equal g.Depths() for the current
+// graph; the scratch must have PrecomputeUses run for this iteration's item
+// set. Reports false exactly when UpdateClosure would — the kill vector
+// shifted and the caller must fall back to a full rebuild.
+func (r *Reuse) UpdateClosureInto(g *dag.Graph, reach *order.Relation, depth []int, ks *KillScratch, dst *Reuse) bool {
+	if r.IsReg {
+		kill := SelectKillsInto(g, r.Items, reach, depth, ks)
+		for i := range kill {
+			if kill[i] != r.Kill[i] {
+				return false
+			}
+		}
+	}
+
+	rel := dst.Rel
+	*dst = Reuse{
+		Graph:  g,
+		Items:  r.Items,
+		Rel:    rel,
+		Kill:   r.Kill,
+		IsReg:  r.IsReg,
+		Class:  r.Class,
+		byNode: r.byNode,
+	}
+	if r.IsReg {
+		for i := range r.Items {
+			k := r.Kill[i]
+			if k < 0 {
+				continue
+			}
+			row := reach.Row(k)
+			for j, b := range r.Items {
+				if i != j && (k == b.Node || row.Has(b.Node)) {
+					rel.Add(i, j)
+				}
+			}
+		}
+	} else {
+		for i, a := range r.Items {
+			row := reach.Row(a.Node)
+			for j, b := range r.Items {
+				if i != j && row.Has(b.Node) {
+					rel.Add(i, j)
+				}
+			}
+		}
+	}
+	return true
+}
+
+// growInts returns a length-n int slice reusing s's storage when possible.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growBools returns a length-n bool slice reusing s's storage when possible.
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,113 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+
+	"ursa/internal/dag"
+	"ursa/internal/ir"
+	"ursa/internal/order"
+)
+
+func relEqual(a, b *order.Relation) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	for i := 0; i < a.Size(); i++ {
+		if !a.Row(i).SubsetOf(b.Row(i)) || !b.Row(i).SubsetOf(a.Row(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// addRandomSeqEdge adds one cycle-safe sequencing edge between instruction
+// nodes and maintains the closure, reporting whether it found one.
+func addRandomSeqEdge(rng *rand.Rand, g *dag.Graph, reach *order.Relation) bool {
+	nodes := g.InstrNodes()
+	for tries := 0; tries < 50; tries++ {
+		a := nodes[rng.Intn(len(nodes))]
+		b := nodes[rng.Intn(len(nodes))]
+		if a == b || g.HasEdge(a, b) || reach.Has(b, a) {
+			continue
+		}
+		g.AddEdge(a, b, dag.EdgeSeq)
+		reach.AddClosureEdge(a, b)
+		return true
+	}
+	return false
+}
+
+// TestSelectKillsIntoMatchesSelectKills drives one reused scratch across many
+// random graphs and edge insertions, requiring the pooled kill selection to
+// reproduce SelectKills exactly.
+func TestSelectKillsIntoMatchesSelectKills(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var ks KillScratch
+	for trial := 0; trial < 60; trial++ {
+		f := randomBlock(rng, 4+rng.Intn(12))
+		g, err := dag.Build(f.Blocks[0])
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		r := Reg(g, ir.ClassInt)
+		reach := g.Reach()
+		for step := 0; step < 3; step++ {
+			want := SelectKills(g, r.Items, reach)
+			ks.PrecomputeUses(g, r.Items)
+			got := SelectKillsInto(g, r.Items, reach, g.Depths(), &ks)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d step %d: kill[%d] = %d, want %d",
+						trial, step, i, got[i], want[i])
+				}
+			}
+			if !addRandomSeqEdge(rng, g, reach) {
+				break
+			}
+		}
+	}
+}
+
+// TestUpdateClosureIntoMatchesUpdateClosure checks the pooled closure update
+// against the allocating one: same ok verdict, and on success an identical
+// relation and kill vector.
+func TestUpdateClosureIntoMatchesUpdateClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var ks KillScratch
+	for trial := 0; trial < 60; trial++ {
+		f := randomBlock(rng, 4+rng.Intn(12))
+		g, err := dag.Build(f.Blocks[0])
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, r := range []*Reuse{FU(g, AllFUs), Reg(g, ir.ClassInt)} {
+			reach := g.Reach()
+			if !addRandomSeqEdge(rng, g, reach) {
+				continue
+			}
+			if r.IsReg {
+				ks.PrecomputeUses(g, r.Items)
+			}
+			want, wantOK := r.UpdateClosure(g, reach)
+			dst := &Reuse{Rel: order.NewRelation(r.NumItems())}
+			gotOK := r.UpdateClosureInto(g, reach, g.Depths(), &ks, dst)
+			if gotOK != wantOK {
+				t.Fatalf("trial %d: ok = %v, want %v", trial, gotOK, wantOK)
+			}
+			if !wantOK {
+				continue
+			}
+			if !relEqual(dst.Rel, want.Rel) {
+				t.Fatalf("trial %d: relations differ", trial)
+			}
+			for i := range want.Kill {
+				if dst.Kill[i] != want.Kill[i] {
+					t.Fatalf("trial %d: kill[%d] differs", trial, i)
+				}
+			}
+			// Edges added by both graphs mutate the shared g; rebuild for the
+			// next resource so each starts from a consistent closure.
+		}
+	}
+}

@@ -11,9 +11,10 @@
 package transform
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
-	"sort"
-	"strings"
+	"slices"
 
 	"ursa/internal/dag"
 	"ursa/internal/ir"
@@ -87,7 +88,104 @@ func (c *Candidate) Apply(g *dag.Graph) error {
 		g.AddEdge(e[0], e[1], dag.EdgeSeq)
 	}
 	if c.Spill != nil {
-		if err := applySpill(g, c.Spill); err != nil {
+		if err := applySpill(g, c.Spill, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// An UndoLog records everything one tentative application changed, so the
+// change can be reverted in place. One log lives per evaluator worker and
+// is reused across candidates; its slices keep their capacity, so the
+// steady-state apply/score/revert cycle allocates nothing.
+type UndoLog struct {
+	g       *dag.Graph
+	nodes   int // node count at ApplyLog time
+	regs    int // Func.NumRegs at ApplyLog time
+	added   [][2]int
+	removed []removedEdge
+	patches []argPatch
+}
+
+type removedEdge struct {
+	a, b int
+	kind dag.EdgeKind
+}
+
+// argPatch records one operand rewrite: slot >= 0 indexes Instr.Args,
+// slot == -1 means the Index register.
+type argPatch struct {
+	in   *ir.Instr
+	slot int
+	old  ir.VReg
+}
+
+// Added returns the sequence edges the application actually added (edges
+// already present were skipped). The slice aliases the log and is valid
+// until the next ApplyLog. For spill candidates it also contains the
+// store/load wiring, so incremental closure updates must not be derived
+// from it — the evaluator re-measures spilled graphs from scratch.
+func (u *UndoLog) Added() [][2]int { return u.added }
+
+// Revert undoes the recorded application: operand rewrites are restored,
+// removed edges re-added with their original kinds, added edges removed,
+// and any nodes and registers the application created are truncated away.
+// Successor/predecessor list order may differ from the pre-apply state
+// (re-added edges append at the tail); every analysis the evaluator runs is
+// order-independent, and the committed graph never goes through a revert.
+func (u *UndoLog) Revert() {
+	g := u.g
+	for i := len(u.patches) - 1; i >= 0; i-- {
+		p := u.patches[i]
+		if p.slot < 0 {
+			p.in.Index = p.old
+		} else {
+			p.in.Args[p.slot] = p.old
+		}
+	}
+	for i := len(u.added) - 1; i >= 0; i-- {
+		g.RemoveEdge(u.added[i][0], u.added[i][1])
+	}
+	for i := len(u.removed) - 1; i >= 0; i-- {
+		r := u.removed[i]
+		g.AddEdge(r.a, r.b, r.kind)
+	}
+	g.TruncateNodes(u.nodes)
+	g.Func.TruncateRegs(u.regs)
+}
+
+// reset points the log at a fresh application on g.
+func (u *UndoLog) reset(g *dag.Graph) {
+	u.g = g
+	u.nodes = g.NumNodes()
+	u.regs = g.Func.NumRegs()
+	u.added = u.added[:0]
+	u.removed = u.removed[:0]
+	u.patches = u.patches[:0]
+}
+
+// ApplyLog tentatively applies the candidate — sequencing edges and, unlike
+// ApplyUndo, spill payloads too — recording every change in the reusable
+// log. On error the partial application is already reverted and the graph
+// is back in its prior state. On success the caller scores the transformed
+// graph and then calls log.Revert.
+func (c *Candidate) ApplyLog(g *dag.Graph, log *UndoLog) error {
+	log.reset(g)
+	for _, e := range c.Edges {
+		if g.HasEdge(e[0], e[1]) {
+			continue
+		}
+		if g.HasPath(e[1], e[0]) {
+			log.Revert()
+			return fmt.Errorf("transform %s: edge %d->%d would create a cycle", c.Kind, e[0], e[1])
+		}
+		g.AddEdge(e[0], e[1], dag.EdgeSeq)
+		log.added = append(log.added, e)
+	}
+	if c.Spill != nil {
+		if err := applySpill(g, c.Spill, log); err != nil {
+			log.Revert()
 			return err
 		}
 	}
@@ -134,36 +232,93 @@ func (c *Candidate) ApplyUndo(g *dag.Graph) (added [][2]int, undo func(), err er
 // kind, the edge set in sorted order, and the spill target. Candidates with
 // equal keys transform the graph identically even when their generators and
 // Notes differ; the driver uses this to measure each distinct effect once
-// per iteration.
-func (c *Candidate) Key() string {
-	edges := make([][2]int, len(c.Edges))
-	copy(edges, c.Edges)
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i][0] != edges[j][0] {
-			return edges[i][0] < edges[j][0]
-		}
-		return edges[i][1] < edges[j][1]
-	})
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d", c.Kind)
-	for _, e := range edges {
-		fmt.Fprintf(&sb, ";%d>%d", e[0], e[1])
-	}
-	if sp := c.Spill; sp != nil {
-		br := append([]int(nil), sp.Barrier...)
-		pr := append([]int(nil), sp.PreRoots...)
-		sort.Ints(br)
-		sort.Ints(pr)
-		fmt.Fprintf(&sb, ";spill:%d@%d;b%v;p%v", sp.Reg, sp.Def, br, pr)
-	}
-	return sb.String()
+// per iteration. Key allocates its result; the evaluator's hot path uses
+// FixedKey with a reused buffer instead.
+func (c *Candidate) Key() string { return string(c.AppendKey(nil)) }
+
+// A CandKey is a fixed-size comparable digest of a candidate's canonical
+// encoding (AppendKey), usable directly as a map key. Candidates with equal
+// effect always collide; distinct effects are separated by the full 256-bit
+// digest.
+type CandKey [sha256.Size]byte
+
+// FixedKey returns the candidate's fixed-size key. buf is an optional
+// scratch buffer reused for the canonical encoding; the (possibly grown)
+// buffer is returned so callers can thread one allocation through a whole
+// dedupe pass.
+func (c *Candidate) FixedKey(buf []byte) (CandKey, []byte) {
+	buf = c.AppendKey(buf[:0])
+	return CandKey(sha256.Sum256(buf)), buf
 }
 
-func applySpill(g *dag.Graph, sp *SpillSpec) error {
+// AppendKey appends the candidate's canonical binary encoding to dst and
+// returns the extended slice. The encoding is what Key and FixedKey are
+// built from: kind, edge count, edges sorted lexicographically, and the
+// spill payload (register, definition, sorted barriers, sorted pre-roots)
+// when present. Candidates with up to 32 edges encode without allocating
+// beyond dst's growth.
+func (c *Candidate) AppendKey(dst []byte) []byte {
+	dst = append(dst, byte(c.Kind))
+	var stack [32][2]int
+	edges := stack[:0]
+	if len(c.Edges) > len(stack) {
+		edges = make([][2]int, 0, len(c.Edges))
+	}
+	edges = append(edges, c.Edges...)
+	slices.SortFunc(edges, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	})
+	dst = binary.AppendUvarint(dst, uint64(len(edges)))
+	for _, e := range edges {
+		dst = binary.AppendUvarint(dst, uint64(e[0]))
+		dst = binary.AppendUvarint(dst, uint64(e[1]))
+	}
+	if sp := c.Spill; sp != nil {
+		dst = append(dst, 1)
+		dst = binary.AppendUvarint(dst, uint64(sp.Reg))
+		dst = binary.AppendUvarint(dst, uint64(sp.Def))
+		dst = appendSortedInts(dst, sp.Barrier)
+		dst = appendSortedInts(dst, sp.PreRoots)
+	}
+	return dst
+}
+
+// appendSortedInts appends a length-prefixed sorted copy of xs.
+func appendSortedInts(dst []byte, xs []int) []byte {
+	var stack [32]int
+	s := stack[:0]
+	if len(xs) > len(stack) {
+		s = make([]int, 0, len(xs))
+	}
+	s = append(s, xs...)
+	slices.Sort(s)
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	for _, x := range s {
+		dst = binary.AppendUvarint(dst, uint64(x))
+	}
+	return dst
+}
+
+// applySpill inserts the spill's store/load pair, wires it, and rewires the
+// delayable uses. With log == nil (the commit path) the graph is mutated
+// for good; with a log every change is recorded so the caller can revert —
+// the store/load wiring always touches the freshly added nodes, so every
+// AddEdge here is a genuinely new edge and is logged unconditionally.
+func applySpill(g *dag.Graph, sp *SpillSpec, log *UndoLog) error {
 	f := g.Func
 	name := f.NameOf(sp.Reg)
 	class := f.ClassOf(sp.Reg)
 	slot := "spill." + name
+
+	addEdge := func(a, b int, kind dag.EdgeKind) {
+		g.AddEdge(a, b, kind)
+		if log != nil {
+			log.added = append(log.added, [2]int{a, b})
+		}
+	}
 
 	if g.LiveOut[sp.Reg] {
 		return fmt.Errorf("transform spill: %s is live-out", name)
@@ -182,15 +337,15 @@ func applySpill(g *dag.Graph, sp *SpillSpec) error {
 	st := g.AddInstr(&ir.Instr{Op: ir.SpillStore, Args: []ir.VReg{sp.Reg}, Sym: slot})
 	nv := f.NewReg(name+".r", class)
 	ld := g.AddInstr(&ir.Instr{Op: ir.SpillLoad, Dst: nv, Sym: slot})
-	g.AddEdge(sp.Def, st, dag.EdgeData)
-	g.AddEdge(st, ld, dag.EdgeMem)
+	addEdge(sp.Def, st, dag.EdgeData)
+	addEdge(st, ld, dag.EdgeMem)
 
 	// The reload waits for SD1 to finish.
 	for _, b := range sp.Barrier {
 		if b == ld || g.HasPath(ld, b) {
 			continue
 		}
-		g.AddEdge(b, ld, dag.EdgeSeq)
+		addEdge(b, ld, dag.EdgeSeq)
 	}
 	// The store happens before SD1 starts, freeing the register. Roots
 	// that are ancestors of the definition cannot be sequenced after it.
@@ -198,7 +353,7 @@ func applySpill(g *dag.Graph, sp *SpillSpec) error {
 		if r == st || g.HasPath(r, sp.Def) || g.HasPath(r, st) {
 			continue
 		}
-		g.AddEdge(st, r, dag.EdgeSeq)
+		addEdge(st, r, dag.EdgeSeq)
 	}
 
 	// Rewire every use that can legally wait for the reload.
@@ -210,17 +365,33 @@ func applySpill(g *dag.Graph, sp *SpillSpec) error {
 		in := g.Nodes[u].Instr
 		for i, a := range in.Args {
 			if a == sp.Reg {
+				if log != nil {
+					log.patches = append(log.patches, argPatch{in: in, slot: i, old: a})
+				}
 				in.Args[i] = nv
 			}
 		}
 		if in.Index == sp.Reg {
+			if log != nil {
+				log.patches = append(log.patches, argPatch{in: in, slot: -1, old: sp.Reg})
+			}
 			in.Index = nv
 		}
-		g.RemoveEdge(sp.Def, u)
-		g.AddEdge(ld, u, dag.EdgeData)
+		if g.HasEdge(sp.Def, u) {
+			if log != nil {
+				kind, _ := g.EdgeKindOf(sp.Def, u)
+				log.removed = append(log.removed, removedEdge{a: sp.Def, b: u, kind: kind})
+			}
+			g.RemoveEdge(sp.Def, u)
+		}
+		addEdge(ld, u, dag.EdgeData)
 		rewired++
 	}
 	if rewired == 0 {
+		if log != nil {
+			// The caller reverts everything; no patch-up needed.
+			return fmt.Errorf("transform spill: no use of %s can be delayed", name)
+		}
 		// Nothing could be delayed: undo the dangling store/load by wiring
 		// them straight to the leaf so the graph stays valid, and report
 		// failure so the driver discards this candidate.
@@ -229,7 +400,7 @@ func applySpill(g *dag.Graph, sp *SpillSpec) error {
 	}
 	// Keep the hammock property for the new nodes.
 	if len(g.Succs(ld)) == 0 {
-		g.AddEdge(ld, g.Leaf, dag.EdgeSeq)
+		addEdge(ld, g.Leaf, dag.EdgeSeq)
 	}
 	return nil
 }
