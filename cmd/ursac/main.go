@@ -40,6 +40,7 @@ func main() {
 		pipelineName = flag.String("pipeline", "ursa", "pipeline: ursa, prepass, postpass, integrated-list")
 		width        = flag.Int("width", 4, "functional units (homogeneous)")
 		regs         = flag.Int("regs", 8, "registers per register file")
+		machineFlag  = flag.String("machine", "", "target: a preset name (see -machine list), a machine-spec JSON file, or inline JSON starting with '{'; overrides -width/-regs")
 		kernel       = flag.Bool("kernel", false, "input is kernel language (default: .k files)")
 		unroll       = flag.Int("unroll", 0, "unroll factor for kernel-language for loops")
 		loop         = flag.Bool("loop", false, "software-pipeline counted loops (modulo scheduling) before compiling")
@@ -81,13 +82,20 @@ func main() {
 		return
 	}
 
+	if *machineFlag == "list" {
+		for _, p := range ursa.Presets() {
+			fmt.Printf("%-14s %s\n", p.Name, p.Description)
+		}
+		return
+	}
+
 	method, ok := parseMethod(*pipelineName)
 	if !ok {
 		fatalf("unknown pipeline %q", *pipelineName)
 	}
-	m := ursa.VLIW(*width, *regs)
-	if *realistic {
-		m.Latency = ursa.RealisticLatency
+	m, err := resolveMachine(*machineFlag, *width, *regs, *realistic)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	f, kernelSrc, err := loadInput(flag.Arg(0), *kernel, *unroll)
@@ -234,6 +242,39 @@ func printMem(st *ursa.State) {
 	for _, c := range cells {
 		fmt.Printf("# mem %s[%d] = %d\n", c.addr.Sym, c.addr.Off, c.val)
 	}
+}
+
+// resolveMachine turns the -machine flag into a configuration: empty means
+// the classic -width/-regs homogeneous VLIW, "{"-prefixed text is an inline
+// JSON machine spec, an existing file is read as a JSON spec, and anything
+// else must be a preset name from the target catalog. -latency composes
+// only with the flag-built machine; presets and specs carry their own
+// latency model.
+func resolveMachine(sel string, width, regs int, realistic bool) (*ursa.Machine, error) {
+	if sel == "" {
+		m := ursa.VLIW(width, regs)
+		if realistic {
+			m.Latency = ursa.RealisticLatency
+		}
+		return m, nil
+	}
+	if realistic {
+		return nil, fmt.Errorf("-latency conflicts with -machine: the latency model belongs to the preset or spec")
+	}
+	if len(sel) > 0 && sel[0] == '{' {
+		return ursa.ParseMachineSpec([]byte(sel))
+	}
+	if data, err := os.ReadFile(sel); err == nil {
+		return ursa.ParseMachineSpec(data)
+	}
+	if p := ursa.PresetByName(sel); p != nil {
+		return p.Config, nil
+	}
+	var names []string
+	for _, p := range ursa.Presets() {
+		names = append(names, p.Name)
+	}
+	return nil, fmt.Errorf("unknown machine %q (presets: %v; or pass a JSON spec file or inline JSON)", sel, names)
 }
 
 func parseMethod(name string) (ursa.Method, bool) {

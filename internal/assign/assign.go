@@ -8,6 +8,7 @@
 package assign
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -69,23 +70,46 @@ func (p *Program) String() string {
 }
 
 // physSpace pre-allocates the machine's register files in a fresh function.
+// On clustered machines every cluster owns a private copy of each file
+// (regs[class][cluster]); unclustered machines have a single cluster 0 and
+// keep the historical register names.
 type physSpace struct {
 	f    *ir.Func
-	regs [ir.NumClasses][]ir.VReg
+	regs [ir.NumClasses][][]ir.VReg
 }
 
 func newPhysSpace(name string, m *machine.Config) *physSpace {
 	ps := &physSpace{f: ir.NewFunc(name)}
+	nc := m.NumClusters()
 	for c := ir.Class(0); c < ir.NumClasses; c++ {
 		prefix := "r"
 		if c == ir.ClassFP {
 			prefix = "f"
 		}
-		for i := 0; i < m.Regs[c]; i++ {
-			ps.regs[c] = append(ps.regs[c], ps.f.NewReg(fmt.Sprintf("%s%d", prefix, i), c))
+		ps.regs[c] = make([][]ir.VReg, nc)
+		for k := 0; k < nc; k++ {
+			for i := 0; i < m.Regs[c]; i++ {
+				name := fmt.Sprintf("%s%d", prefix, i)
+				if nc > 1 {
+					name = fmt.Sprintf("c%d.%s", k, name)
+				}
+				ps.regs[c][k] = append(ps.regs[c][k], ps.f.NewReg(name, c))
+			}
 		}
 	}
 	return ps
+}
+
+// freeLists copies the physical files into per-(class, cluster) free lists.
+func (ps *physSpace) freeLists() [ir.NumClasses][][]ir.VReg {
+	var free [ir.NumClasses][][]ir.VReg
+	for c := range ps.regs {
+		free[c] = make([][]ir.VReg, len(ps.regs[c]))
+		for k := range ps.regs[c] {
+			free[c][k] = append([]ir.VReg(nil), ps.regs[c][k]...)
+		}
+	}
+	return free
 }
 
 // Registers performs clean register assignment on a schedule whose pressure
@@ -115,11 +139,19 @@ func Registers(s *sched.Schedule, m *machine.Config) (*Program, error) {
 		}
 	}
 
-	// Free lists per class; live-ins allocated up front.
-	free := [ir.NumClasses][]ir.VReg{}
-	for c := range free {
-		free[c] = append([]ir.VReg(nil), ps.regs[c]...)
+	// Values allocate from their defining instruction's cluster file
+	// (live-ins default to cluster 0; clustered pipelines reject live-ins
+	// upstream).
+	clusterOf := map[ir.VReg]uint8{}
+	for _, p := range s.Placements {
+		in := g.Nodes[p.Node].Instr
+		if in.Dst != ir.NoReg {
+			clusterOf[in.Dst] = in.Cluster
+		}
 	}
+
+	// Free lists per (class, cluster); live-ins allocated up front.
+	free := ps.freeLists()
 	assign := map[ir.VReg]ir.VReg{}
 	used := [ir.NumClasses]map[ir.VReg]bool{}
 	for c := range used {
@@ -127,11 +159,12 @@ func Registers(s *sched.Schedule, m *machine.Config) (*Program, error) {
 	}
 	alloc := func(v ir.VReg) (ir.VReg, error) {
 		c := f.ClassOf(v)
-		if len(free[c]) == 0 {
+		k := int(clusterOf[v])
+		if len(free[c][k]) == 0 {
 			return ir.NoReg, &ErrPressure{Class: c, Value: f.NameOf(v)}
 		}
-		p := free[c][0]
-		free[c] = free[c][1:]
+		p := free[c][k][0]
+		free[c][k] = free[c][k][1:]
 		assign[v] = p
 		used[c][p] = true
 		return p, nil
@@ -195,8 +228,8 @@ func Registers(s *sched.Schedule, m *machine.Config) (*Program, error) {
 			if g.LiveOut[v] {
 				continue
 			}
-			c := f.ClassOf(v)
-			free[c] = append(free[c], assign[v])
+			c, k := f.ClassOf(v), int(clusterOf[v])
+			free[c][k] = append(free[c][k], assign[v])
 		}
 		for _, p := range byCycle[cycle] {
 			in := g.Nodes[p.Node].Instr
@@ -259,10 +292,22 @@ func fillBlock(p *Program) {
 
 // Emit schedules the DAG and assigns registers, falling back to spill
 // patching when the schedule's pressure exceeds the machine. It returns the
-// program and the (pre-patch) schedule.
+// program and the (pre-patch) schedule; the schedule is nil when the
+// buffer-eviction fallback emitted sequentially instead.
 func Emit(g *dag.Graph, m *machine.Config, opts sched.Options) (*Program, *sched.Schedule, error) {
 	s, err := sched.List(g, m, opts)
 	if err != nil {
+		if errors.Is(err, sched.ErrBuffer) {
+			// The block's worst-case buffer width exceeds the machine's
+			// depth, so no buffer-blind order is safe: fall back to
+			// sequential emission with memory eviction, the buffered
+			// analogue of the register spill patching below.
+			prog, perr := EmitWithBufferSpills(g, m)
+			if perr != nil {
+				return nil, nil, perr
+			}
+			return prog, nil, nil
+		}
 		return nil, nil, err
 	}
 	prog, err := Registers(s, m)

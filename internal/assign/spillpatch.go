@@ -37,7 +37,7 @@ func EmitWithSpills(s *sched.Schedule, m *machine.Config) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog.Words = packPhys(prog.Func, physSeq, m)
+	prog.Words = packPhys(prog.Func, physSeq, m, false)
 	prog.Spills = spills
 	fillBlock(prog)
 	return prog, nil
@@ -55,9 +55,13 @@ func EmitWithSpills(s *sched.Schedule, m *machine.Config) (*Program, error) {
 func insertSpills(f *ir.Func, lin []*ir.Instr, m *machine.Config, liveOut map[ir.VReg]bool) ([]*ir.Instr, map[ir.VReg]ir.VReg, int, error) {
 	n := len(lin)
 	lastUse := map[ir.VReg]int{} // by original register, over lin indices
+	defCluster := map[ir.VReg]uint8{}
 	for i, in := range lin {
 		for _, u := range in.Uses() {
 			lastUse[u] = i
+		}
+		if in.Dst != ir.NoReg {
+			defCluster[in.Dst] = in.Cluster
 		}
 	}
 
@@ -72,10 +76,12 @@ func insertSpills(f *ir.Func, lin []*ir.Instr, m *machine.Config, liveOut map[ir
 		}
 		return v
 	}
-	countClass := func(c ir.Class) int {
+	// Residency is per register file: on clustered machines each cluster's
+	// file fills and spills independently.
+	countClass := func(c ir.Class, cl uint8) int {
 		k := 0
 		for v := range resident {
-			if f.ClassOf(v) == c {
+			if f.ClassOf(v) == c && defCluster[v] == cl {
 				k++
 			}
 		}
@@ -98,6 +104,7 @@ func insertSpills(f *ir.Func, lin []*ir.Instr, m *machine.Config, liveOut map[ir
 		if !stored[v] {
 			out = append(out, &ir.Instr{
 				Op: ir.SpillStore, Args: []ir.VReg{curName(v)}, Sym: slot(v),
+				Cluster: defCluster[v],
 			})
 			stored[v] = true
 			spills++
@@ -105,11 +112,11 @@ func insertSpills(f *ir.Func, lin []*ir.Instr, m *machine.Config, liveOut map[ir
 		delete(resident, v)
 		spilled[v] = true
 	}
-	ensure := func(c ir.Class, i int, pinned map[ir.VReg]bool) error {
-		for countClass(c) >= m.Regs[c] {
+	ensure := func(c ir.Class, cl uint8, i int, pinned map[ir.VReg]bool) error {
+		for countClass(c, cl) >= m.Regs[c] {
 			victim, far := ir.NoReg, -1
 			for v := range resident {
-				if f.ClassOf(v) != c || pinned[v] {
+				if f.ClassOf(v) != c || defCluster[v] != cl || pinned[v] {
 					continue
 				}
 				nu := nextUseAfter(v, i)
@@ -137,17 +144,20 @@ func insertSpills(f *ir.Func, lin []*ir.Instr, m *machine.Config, liveOut map[ir
 		for _, u := range in.Uses() {
 			switch {
 			case spilled[u]:
-				if err := ensure(f.ClassOf(u), i, pinned); err != nil {
+				if err := ensure(f.ClassOf(u), defCluster[u], i, pinned); err != nil {
 					return nil, nil, 0, err
 				}
 				nv := f.NewReg(f.NameOf(u)+".p", f.ClassOf(u))
-				out = append(out, &ir.Instr{Op: ir.SpillLoad, Dst: nv, Sym: slot(u)})
+				out = append(out, &ir.Instr{
+					Op: ir.SpillLoad, Dst: nv, Sym: slot(u), Cluster: defCluster[u],
+				})
 				cur[u] = nv
+				defCluster[nv] = defCluster[u]
 				delete(spilled, u)
 				resident[u] = true
 			case !resident[u]:
 				// Live-in: becomes resident on first touch.
-				if err := ensure(f.ClassOf(u), i, pinned); err != nil {
+				if err := ensure(f.ClassOf(u), defCluster[u], i, pinned); err != nil {
 					return nil, nil, 0, err
 				}
 				resident[u] = true
@@ -163,7 +173,7 @@ func insertSpills(f *ir.Func, lin []*ir.Instr, m *machine.Config, liveOut map[ir
 			// Surviving operands of this instruction may themselves be
 			// evicted (the store reads the register before the write
 			// lands), so nothing is pinned here.
-			if err := ensure(f.ClassOf(in.Dst), i+1, nil); err != nil {
+			if err := ensure(f.ClassOf(in.Dst), in.Cluster, i+1, nil); err != nil {
 				return nil, nil, 0, err
 			}
 			resident[in.Dst] = true
@@ -198,12 +208,15 @@ func insertSpills(f *ir.Func, lin []*ir.Instr, m *machine.Config, liveOut map[ir
 		if !spilled[v] {
 			continue
 		}
-		if err := ensure(f.ClassOf(v), n, pinned); err != nil {
+		if err := ensure(f.ClassOf(v), defCluster[v], n, pinned); err != nil {
 			return nil, nil, 0, err
 		}
 		nv := f.NewReg(f.NameOf(v)+".p", f.ClassOf(v))
-		out = append(out, &ir.Instr{Op: ir.SpillLoad, Dst: nv, Sym: slot(v)})
+		out = append(out, &ir.Instr{
+			Op: ir.SpillLoad, Dst: nv, Sym: slot(v), Cluster: defCluster[v],
+		})
 		cur[v] = nv
+		defCluster[nv] = defCluster[v]
 		delete(spilled, v)
 		resident[v] = true
 	}
@@ -235,15 +248,13 @@ func assignLinear(f *ir.Func, seq []*ir.Instr, m *machine.Config, liveOut map[ir
 	}
 	ps := newPhysSpace(f.Name+".vliw", m)
 	assignMap := map[ir.VReg]ir.VReg{}
-	free := [ir.NumClasses][]ir.VReg{}
-	for c := range free {
-		free[c] = append([]ir.VReg(nil), ps.regs[c]...)
-	}
+	free := ps.freeLists()
 	used := [ir.NumClasses]map[ir.VReg]bool{}
 	for c := range used {
 		used[c] = map[ir.VReg]bool{}
 	}
 	lastTouch := map[ir.VReg]int{}
+	defCluster := map[ir.VReg]uint8{}
 	for i, in := range seq {
 		for _, u := range in.Uses() {
 			lastTouch[u] = i
@@ -252,19 +263,20 @@ func assignLinear(f *ir.Func, seq []*ir.Instr, m *machine.Config, liveOut map[ir
 			if _, seen := lastTouch[in.Dst]; !seen {
 				lastTouch[in.Dst] = i
 			}
+			defCluster[in.Dst] = in.Cluster
 		}
 	}
 	alloc := func(v ir.VReg) error {
 		if _, ok := assignMap[v]; ok {
 			return nil
 		}
-		c := f.ClassOf(v)
-		if len(free[c]) == 0 {
+		c, k := f.ClassOf(v), int(defCluster[v])
+		if len(free[c][k]) == 0 {
 			return &ErrPressure{Class: c, Value: f.NameOf(v)}
 		}
-		assignMap[v] = free[c][0]
-		used[c][free[c][0]] = true
-		free[c] = free[c][1:]
+		assignMap[v] = free[c][k][0]
+		used[c][free[c][k][0]] = true
+		free[c][k] = free[c][k][1:]
 		return nil
 	}
 
@@ -286,7 +298,8 @@ func assignLinear(f *ir.Func, seq []*ir.Instr, m *machine.Config, liveOut map[ir
 		release := func(v ir.VReg) {
 			if lastTouch[v] == i && !held[v] {
 				if p, ok := assignMap[v]; ok {
-					free[f.ClassOf(v)] = append(free[f.ClassOf(v)], p)
+					c, k := f.ClassOf(v), int(defCluster[v])
+					free[c][k] = append(free[c][k], p)
 					delete(assignMap, v)
 				}
 			}
@@ -326,8 +339,11 @@ func assignLinear(f *ir.Func, seq []*ir.Instr, m *machine.Config, liveOut map[ir
 // packPhys compacts an ordered physical-register sequence into VLIW words.
 // Each instruction issues at the earliest cycle respecting RAW/WAW (wait
 // for the writer to finish), WAR (write strictly after the last read),
-// memory ordering per symbol, and unit availability.
-func packPhys(pf *ir.Func, seq []*ir.Instr, m *machine.Config) [][]*ir.Instr {
+// memory ordering per symbol, and unit availability. With seqOnly set the
+// words carry at most one instruction each, in sequence order — packing
+// then cannot reorder around the buffer-eviction pass's in-order
+// occupancy guarantee.
+func packPhys(pf *ir.Func, seq []*ir.Instr, m *machine.Config, seqOnly bool) [][]*ir.Instr {
 	type ev struct {
 		write int // cycle after the last write completes
 		read  int // last cycle the location is read
@@ -336,8 +352,9 @@ func packPhys(pf *ir.Func, seq []*ir.Instr, m *machine.Config) [][]*ir.Instr {
 	memEv := map[string]*ev{}
 	busy := map[machine.FUClass][]int{}
 	for _, cl := range m.FUClasses() {
-		busy[cl] = make([]int, m.Units[cl])
+		busy[cl] = make([]int, m.TotalUnits(cl))
 	}
+	issuedAt := map[int]int{} // per-cycle issue count (global issue width)
 
 	makespan := 0
 	maxIssue := 0 // latest issue cycle so far; branches may not precede it
@@ -345,6 +362,9 @@ func packPhys(pf *ir.Func, seq []*ir.Instr, m *machine.Config) [][]*ir.Instr {
 	cycles := make([]int, len(seq))
 	for i, in := range seq {
 		start := floor
+		if seqOnly && i > 0 && cycles[i-1]+1 > start {
+			start = cycles[i-1] + 1
+		}
 		if in.IsBranch() {
 			// A taken branch squashes all later words, so every earlier
 			// instruction must have issued by the branch's cycle, and
@@ -384,11 +404,23 @@ func packPhys(pf *ir.Func, seq []*ir.Instr, m *machine.Config) [][]*ir.Instr {
 		}
 		cl := m.ClassFor(in.Kind())
 		lat := m.LatencyOf(in.Op)
+		// Clustered instructions only see their own cluster's unit slice;
+		// the XFER bus is machine-wide.
+		lo, hi := 0, len(busy[cl])
+		if m.Clusters > 1 && cl != machine.XFER {
+			per := m.Units.Get(cl)
+			lo = int(in.Cluster) * per
+			hi = lo + per
+		}
 		cycle := start
 		for {
+			if m.IssueWidth > 0 && issuedAt[cycle] >= m.IssueWidth {
+				cycle++
+				continue
+			}
 			unit := -1
-			for u, until := range busy[cl] {
-				if until <= cycle {
+			for u := lo; u < hi; u++ {
+				if busy[cl][u] <= cycle {
 					unit = u
 					break
 				}
@@ -399,6 +431,7 @@ func packPhys(pf *ir.Func, seq []*ir.Instr, m *machine.Config) [][]*ir.Instr {
 			}
 			cycle++
 		}
+		issuedAt[cycle]++
 		cycles[i] = cycle
 		if cycle > maxIssue {
 			maxIssue = cycle

@@ -26,6 +26,8 @@ import (
 	"ursa/internal/frontend"
 	"ursa/internal/machine"
 	"ursa/internal/modsched"
+	"ursa/internal/pipeline"
+	"ursa/internal/target"
 	"ursa/internal/workload"
 )
 
@@ -108,6 +110,29 @@ func benchLoopPipeline(kernelName string, m *machine.Config) func(b *testing.B) 
 	}
 }
 
+// benchTargetCompile times an end-to-end pipeline.Compile of a layered
+// block on one extended-family preset — clusterization, inter-cluster copy
+// pricing, buffer auditing, and every fallback lane included — so the
+// committed baseline tracks what the target-diversity families cost on top
+// of the classic VLIW path.
+func benchTargetCompile(preset string, width, depth int) func(b *testing.B) {
+	return func(b *testing.B) {
+		p := target.ByName(preset)
+		if p == nil {
+			b.Fatalf("preset %s missing from the catalog", preset)
+		}
+		f := workload.LayeredBlock(width, depth)
+		blk := f.Blocks[0]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pipeline.Compile(blk, p.Config, pipeline.URSA, pipeline.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // Suite returns the reduction-loop benchmarks in canonical order.
 func Suite() []Named {
 	pg, pm := pickBestGraph()
@@ -121,6 +146,11 @@ func Suite() []Named {
 		{"ReduceLarge/incremental-parallel", benchReduce(rg, rm, core.Options{})},
 		{"Loop/pipeline-saxpy", benchLoopPipeline("saxpy", machine.VLIW(4, 12))},
 		{"Loop/pipeline-stencil3", benchLoopPipeline("stencil3", machine.VLIW(4, 12))},
+		{"Target/clustered-clus2x2x4", benchTargetCompile("clus2x2x4", 8, 4)},
+		{"Target/clustered-clus4x2x4", benchTargetCompile("clus4x2x4", 8, 4)},
+		{"Target/superscalar-suprax12", benchTargetCompile("suprax12", 8, 4)},
+		{"Target/edp-edp4x8b2", benchTargetCompile("edp4x8b2", 8, 4)},
+		{"Target/edp-evict-edp2x6b1", benchTargetCompile("edp2x6b1", 8, 4)},
 	}
 }
 

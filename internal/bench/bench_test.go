@@ -39,6 +39,16 @@ func BenchmarkLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkTarget times end-to-end compiles on the extended target
+// families (CI's target-smoke job runs it with -benchtime=1x).
+func BenchmarkTarget(b *testing.B) {
+	for _, n := range Suite() {
+		if strings.HasPrefix(n.Name, "Target/") {
+			b.Run(strings.TrimPrefix(n.Name, "Target/"), n.Bench)
+		}
+	}
+}
+
 // TestModesAgree pins the property the benchmarks rely on: the full and
 // incremental modes do identical allocation work on the benchmark
 // workloads, so their timing ratio compares implementations, not outcomes.

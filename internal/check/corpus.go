@@ -133,6 +133,16 @@ func parseMachineSpec(line string) (*MachineSpec, error) {
 			s.IntRegs = n
 		case "fpregs":
 			s.FPRegs = n
+		case "clusters":
+			s.Clusters = n
+		case "buses":
+			s.Buses = n
+		case "copylat":
+			s.CopyLat = n
+		case "bufdepth":
+			s.BufferDepth = n
+		case "iw":
+			s.IssueWidth = n
 		default:
 			return nil, fmt.Errorf("check: unknown machine field %q", key)
 		}

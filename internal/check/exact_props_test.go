@@ -8,6 +8,7 @@ import (
 	"ursa/internal/exact"
 	"ursa/internal/ir"
 	"ursa/internal/pipeline"
+	"ursa/internal/target"
 )
 
 // TestExactBoundsOnCorpus is the gap property stated directly, outside
@@ -26,6 +27,13 @@ func TestExactBoundsOnCorpus(t *testing.T) {
 	for name, c := range corpus {
 		t.Run(name, func(t *testing.T) {
 			m := c.Mach.Config()
+			if m.Clusters > 1 || m.BufferDepth > 0 {
+				// The solver models units, latencies, and the issue width
+				// but not per-cluster register files or output buffers, so
+				// its bounds are incomparable to the resource-aware
+				// pipelines there (the exact oracle skips the same way).
+				t.Skip("solver does not model this target family")
+			}
 			g, err := dag.Build(c.Block())
 			if err != nil {
 				t.Fatalf("dag.Build: %v", err)
@@ -49,7 +57,7 @@ func TestExactBoundsOnCorpus(t *testing.T) {
 			for _, method := range pipeline.Methods {
 				_, st, err := pipeline.Compile(c.Block(), m, method, pipeline.Options{})
 				if err != nil {
-					if overc {
+					if overc || target.Unsupported(err) {
 						continue
 					}
 					t.Errorf("%s: compile: %v", method, err)

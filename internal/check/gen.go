@@ -43,23 +43,46 @@ func (c *Case) Clone() *Case {
 
 // MachineSpec is a serializable machine description. machine.Config itself
 // holds a latency func, so corpus files record this spec instead and
-// rebuild the config on load.
+// rebuild the config on load. The extended-target fields compose onto the
+// two base families: Clusters/Buses/CopyLat and BufferDepth apply to
+// homogeneous machines, IssueWidth to either (machine.Config.Validate
+// rejects the combinations the models forbid).
 type MachineSpec struct {
 	Het                  bool // heterogeneous units
 	Width                int  // homogeneous issue width (Het == false)
 	IALU, FALU, MEM, BR  int  // per-class units (Het == true)
 	IntRegs, FPRegs      int
 	Realistic, Pipelined bool
+
+	Clusters    int // > 1 selects the clustered model (per-cluster Width and register files)
+	Buses       int // inter-cluster transfer buses (Clusters > 1)
+	CopyLat     int // inter-cluster copy latency, 0 means 1
+	BufferDepth int // > 0 selects the buffered exposed-datapath model
+	IssueWidth  int // > 0 caps total instructions issued per cycle
 }
 
 // Config materializes the machine description.
 func (s *MachineSpec) Config() *machine.Config {
 	var m *machine.Config
-	if s.Het {
+	switch {
+	case s.Het:
 		m = machine.Heterogeneous(s.IALU, s.FALU, s.MEM, s.BR, s.IntRegs, s.FPRegs)
-	} else {
+	case s.Clusters > 1:
+		m = machine.Clustered(s.Clusters, s.Width, s.IntRegs, s.Buses)
+		m.Regs[ir.ClassFP] = s.FPRegs
+		if s.CopyLat > 0 {
+			m.CopyLatency = s.CopyLat
+		}
+	default:
 		m = machine.VLIW(s.Width, s.IntRegs)
 		m.Regs[ir.ClassFP] = s.FPRegs
+	}
+	if s.BufferDepth > 0 {
+		m.BufferDepth = s.BufferDepth
+		m.Name = fmt.Sprintf("edp%dx%dr.b%d", s.Width, s.IntRegs, s.BufferDepth)
+	}
+	if s.IssueWidth > 0 {
+		m.IssueWidth = s.IssueWidth
 	}
 	if s.Realistic {
 		m.Latency = machine.RealisticLatency
@@ -69,18 +92,34 @@ func (s *MachineSpec) Config() *machine.Config {
 }
 
 // String renders the spec in the corpus directive form parsed by
-// parseMachineSpec.
+// parseMachineSpec. The extended-target fields append only when set, so
+// pre-extension corpus files render byte-identically.
 func (s *MachineSpec) String() string {
 	lat := "unit"
 	if s.Realistic {
 		lat = "realistic"
 	}
+	var d string
 	if s.Het {
-		return fmt.Sprintf("machine het ialu=%d falu=%d mem=%d br=%d intregs=%d fpregs=%d lat=%s pipelined=%v",
+		d = fmt.Sprintf("machine het ialu=%d falu=%d mem=%d br=%d intregs=%d fpregs=%d lat=%s pipelined=%v",
 			s.IALU, s.FALU, s.MEM, s.BR, s.IntRegs, s.FPRegs, lat, s.Pipelined)
+	} else {
+		d = fmt.Sprintf("machine vliw width=%d intregs=%d fpregs=%d lat=%s pipelined=%v",
+			s.Width, s.IntRegs, s.FPRegs, lat, s.Pipelined)
 	}
-	return fmt.Sprintf("machine vliw width=%d intregs=%d fpregs=%d lat=%s pipelined=%v",
-		s.Width, s.IntRegs, s.FPRegs, lat, s.Pipelined)
+	if s.Clusters > 1 {
+		d += fmt.Sprintf(" clusters=%d buses=%d", s.Clusters, s.Buses)
+		if s.CopyLat > 0 {
+			d += fmt.Sprintf(" copylat=%d", s.CopyLat)
+		}
+	}
+	if s.BufferDepth > 0 {
+		d += fmt.Sprintf(" bufdepth=%d", s.BufferDepth)
+	}
+	if s.IssueWidth > 0 {
+		d += fmt.Sprintf(" iw=%d", s.IssueWidth)
+	}
+	return d
 }
 
 // GenConfig tunes random case generation. The zero value selects the
@@ -351,9 +390,11 @@ func trimLiveOuts(b *ir.Block, m *MachineSpec) {
 	}
 }
 
-// genMachine draws a machine description: homogeneous VLIWs of width 1–4,
-// heterogeneous mixes, tight to roomy register files, unit or realistic
-// latencies, occasionally pipelined units.
+// genMachine draws a machine description across every target family:
+// homogeneous VLIWs of width 1–4, heterogeneous mixes (sometimes behind a
+// superscalar fetch bound), clustered machines with tight transfer buses,
+// and buffered exposed datapaths, over tight to roomy register files, unit
+// or realistic latencies, occasionally pipelined units.
 func genMachine(rng *rand.Rand) *MachineSpec {
 	s := &MachineSpec{
 		IntRegs:   2 + rng.Intn(7),
@@ -361,13 +402,29 @@ func genMachine(rng *rand.Rand) *MachineSpec {
 		Realistic: rng.Intn(2) == 0,
 		Pipelined: rng.Intn(4) == 0,
 	}
-	if rng.Intn(3) == 0 {
+	switch rng.Intn(9) {
+	case 0, 1, 2:
 		s.Het = true
 		s.IALU = 1 + rng.Intn(2)
 		s.FALU = 1 + rng.Intn(2)
 		s.MEM = 1 + rng.Intn(2)
 		s.BR = 1
-	} else {
+		if rng.Intn(3) == 0 {
+			// Fetch bound narrower than the unit sum, so it can bind.
+			s.IssueWidth = 2 + rng.Intn(2)
+		}
+	case 3:
+		// Clustered: a scarce bus keeps the copy-vs-spill tradeoff live.
+		s.Clusters = 2 + rng.Intn(2)
+		s.Width = 1 + rng.Intn(2)
+		s.Buses = 1 + rng.Intn(2)
+		s.CopyLat = 1 + rng.Intn(2)
+	case 4:
+		// Exposed datapath: total capacity width×depth must hold a binary
+		// operation's two operands (machine.Config.Validate).
+		s.Width = 2 + rng.Intn(2)
+		s.BufferDepth = 1 + rng.Intn(2)
+	default:
 		s.Width = 1 + rng.Intn(4)
 	}
 	return s

@@ -15,6 +15,7 @@ import (
 	"ursa/internal/order"
 	"ursa/internal/pipeline"
 	"ursa/internal/sched"
+	"ursa/internal/target"
 	"ursa/internal/transform"
 )
 
@@ -116,9 +117,21 @@ func runOracle(rep *Report, name string, c *Case) {
 }
 
 // buildGraph compiles the case's block into a dependence DAG, reporting any
-// construction failure against the given oracle.
+// construction failure against the given oracle. On clustered machines the
+// block is clusterized first (on a private clone, like pipeline.Compile),
+// so the graph the oracles measure carries the same inter-cluster copies
+// the pipelines schedule and spill.
 func buildGraph(rep *Report, oracle string, c *Case) *dag.Graph {
-	g, err := dag.Build(c.Block())
+	b := c.Block()
+	if m := c.Mach.Config(); m.Clusters > 1 {
+		nf := b.Func.Clone()
+		b = nf.Block(b.Label)
+		if _, err := target.Clusterize(b, m); err != nil {
+			rep.failf(oracle, "target.Clusterize: %v", err)
+			return nil
+		}
+	}
+	g, err := dag.Build(b)
 	if err != nil {
 		rep.failf(oracle, "dag.Build: %v", err)
 		return nil
@@ -207,6 +220,9 @@ func checkLegality(rep *Report, c *Case) {
 	for _, method := range pipeline.AllMethods {
 		prog, _, err := pipeline.Compile(c.Block(), m, method, pipeline.Options{})
 		if err != nil {
+			if target.Unsupported(err) {
+				continue // declared method/target refusal, not a finding
+			}
 			if method == pipeline.Exact && exact.Skippable(err) {
 				continue // the guarded lane may refuse large or adversarial blocks
 			}
@@ -224,30 +240,47 @@ func checkLegality(rep *Report, c *Case) {
 
 // programLegal checks the static schedule legality of an emitted program.
 func programLegal(prog *assign.Program, m *machine.Config) error {
+	nc := m.NumClusters()
 	// Functional-unit occupancy: ops started in earlier cycles hold their
-	// unit for OccupancyOf cycles.
-	busy := map[machine.FUClass][]int{}
+	// unit for OccupancyOf cycles. Units are per cluster, except the
+	// inter-cluster transfer bus, which is shared machine-wide.
+	type pool struct {
+		cl machine.FUClass
+		k  int
+	}
+	busy := map[pool][]int{}
 	for cycle, word := range prog.Words {
+		if m.IssueWidth > 0 && len(word) > m.IssueWidth {
+			return fmt.Errorf("cycle %d issues %d instructions past the %d-wide fetch bound",
+				cycle, len(word), m.IssueWidth)
+		}
 		for _, in := range word {
 			cl := m.ClassFor(in.Kind())
+			p := pool{cl, int(in.Cluster)}
+			if cl == machine.XFER {
+				p.k = 0
+			}
 			inUse := 0
-			for _, until := range busy[cl] {
+			for _, until := range busy[p] {
 				if until > cycle {
 					inUse++
 				}
 			}
-			if inUse >= m.Units[cl] {
-				return fmt.Errorf("cycle %d issues onto %s with %d of %d units busy",
-					cycle, cl, inUse, m.Units[cl])
+			if inUse >= m.Units.Get(cl) {
+				return fmt.Errorf("cycle %d issues onto %s (cluster %d) with %d of %d units busy",
+					cycle, cl, p.k, inUse, m.Units.Get(cl))
 			}
-			busy[cl] = append(busy[cl], cycle+m.OccupancyOf(in.Op))
+			busy[p] = append(busy[p], cycle+m.OccupancyOf(in.Op))
 		}
 	}
-	// Register-file limits: distinct physical registers per class.
+	// Register-file limits: distinct physical registers per class, and per
+	// cluster file on clustered machines (a register belongs to the file of
+	// the cluster that defines it — copies define into their own cluster).
 	var seen [ir.NumClasses]map[ir.VReg]bool
 	for i := range seen {
 		seen[i] = map[ir.VReg]bool{}
 	}
+	regCluster := map[ir.VReg]int{}
 	touch := func(v ir.VReg) {
 		if v != ir.NoReg {
 			seen[prog.Func.ClassOf(v)][v] = true
@@ -255,17 +288,32 @@ func programLegal(prog *assign.Program, m *machine.Config) error {
 	}
 	for _, in := range prog.Instrs() {
 		touch(in.Dst)
+		if in.Dst != ir.NoReg {
+			regCluster[in.Dst] = int(in.Cluster)
+		}
 		for _, a := range in.Args {
 			touch(a)
 		}
 		touch(in.Index)
 	}
 	for cl := ir.Class(0); cl < ir.NumClasses; cl++ {
-		if got := len(seen[cl]); got > m.Regs[cl] {
-			return fmt.Errorf("uses %d %s registers, machine has %d", got, cl, m.Regs[cl])
+		if got := len(seen[cl]); got > m.Regs[cl]*nc {
+			return fmt.Errorf("uses %d %s registers, machine has %d", got, cl, m.Regs[cl]*nc)
 		}
 		if got, claimed := len(seen[cl]), prog.RegsUsed[cl]; got != claimed {
 			return fmt.Errorf("RegsUsed[%s] claims %d registers, code touches %d", cl, claimed, got)
+		}
+		if nc > 1 {
+			per := make([]int, nc)
+			for v := range seen[cl] {
+				per[regCluster[v]]++
+			}
+			for k, got := range per {
+				if got > m.Regs[cl] {
+					return fmt.Errorf("cluster %d uses %d %s registers, its file has %d",
+						k, got, cl, m.Regs[cl])
+				}
+			}
 		}
 	}
 	return nil
@@ -371,6 +419,9 @@ func checkDiffExec(rep *Report, c *Case) {
 	for _, method := range pipeline.AllMethods {
 		st, err := pipeline.Evaluate(c.Block(), m, method, InitState(), pipeline.Options{})
 		if err != nil {
+			if target.Unsupported(err) {
+				continue // declared method/target refusal, not a finding
+			}
 			if method == pipeline.Exact && exact.Skippable(err) {
 				continue // the guarded lane may refuse large or adversarial blocks
 			}
@@ -400,11 +451,19 @@ func checkDiffExec(rep *Report, c *Case) {
 // skip silently — the oracle only counts as exercised when the solver
 // actually proved a bound.
 func checkExact(rep *Report, c *Case) {
+	m := c.Mach.Config()
+	if m.Clusters > 1 || m.BufferDepth > 0 {
+		// The solver's state encoding covers units, latencies, and the
+		// issue width, but not per-cluster register files or output
+		// buffers; its bounds are incomparable to what the resource-aware
+		// pipelines emit there (target.Supports refuses the exact lane for
+		// the same reason).
+		return
+	}
 	g := buildGraph(rep, OracleExact, c)
 	if g == nil {
 		return
 	}
-	m := c.Mach.Config()
 	res, err := exact.Solve(g, m, exact.Options{})
 	if err != nil {
 		if !exact.Skippable(err) {

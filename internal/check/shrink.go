@@ -109,6 +109,22 @@ func shrinkMachine(c *Case, fails func(*Case) bool) (*Case, bool) {
 	}
 	attempt(func(s *MachineSpec) { s.Pipelined = false })
 	attempt(func(s *MachineSpec) { s.Realistic = false })
+	// Drop the extended-target models first: a failure that survives on a
+	// plain VLIW is easier to debug than one entangled with clusters,
+	// buffers, or a fetch bound.
+	attempt(func(s *MachineSpec) { s.IssueWidth = 0 })
+	attempt(func(s *MachineSpec) { s.BufferDepth = 0 })
+	attempt(func(s *MachineSpec) { s.Clusters, s.Buses, s.CopyLat = 0, 0, 0 })
+	attempt(func(s *MachineSpec) {
+		if s.CopyLat > 1 {
+			s.CopyLat = 1
+		}
+	})
+	attempt(func(s *MachineSpec) {
+		if s.Clusters > 2 {
+			s.Clusters = 2
+		}
+	})
 	attempt(func(s *MachineSpec) {
 		if s.Het {
 			*s = MachineSpec{Width: s.IALU, IntRegs: s.IntRegs, FPRegs: s.FPRegs,
@@ -147,6 +163,21 @@ func shrinkMachine(c *Case, fails func(*Case) bool) (*Case, bool) {
 		func(s *MachineSpec) {
 			if s.FPRegs > 1 {
 				s.FPRegs--
+			}
+		},
+		func(s *MachineSpec) {
+			if s.Buses > 1 {
+				s.Buses--
+			}
+		},
+		func(s *MachineSpec) {
+			if s.BufferDepth > 1 {
+				s.BufferDepth--
+			}
+		},
+		func(s *MachineSpec) {
+			if s.IssueWidth > 1 {
+				s.IssueWidth--
 			}
 		},
 	} {

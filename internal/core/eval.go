@@ -556,12 +556,18 @@ func (e *evaluator) specLookup(k transform.CandKey) (evalOutcome, bool) {
 
 // kindRanks returns the §5 kind preference for the style, indexed by
 // transform.Kind: at equal impact sequencing beats spilling (no extra
-// memory traffic); styleSpillFirst flips this.
-func kindRanks(style scoreStyle) [3]int {
+// memory traffic); styleSpillFirst flips this. Copy-spills sort with the
+// spills — they add the same memory traffic — but after them, since they
+// additionally forfeit a single-cycle bus transfer.
+func kindRanks(style scoreStyle) [transform.NumKinds]int {
 	if style == styleSpillFirst {
-		// Spill 0, RegSequence 1, FUSequence 2.
-		return [3]int{transform.FUSequence: 2, transform.RegSequence: 1, transform.Spill: 0}
+		return [transform.NumKinds]int{
+			transform.FUSequence: 3, transform.RegSequence: 2,
+			transform.Spill: 0, transform.CopySpill: 1,
+		}
 	}
-	// RegSequence 0, FUSequence 1, Spill 2.
-	return [3]int{transform.FUSequence: 1, transform.RegSequence: 0, transform.Spill: 2}
+	return [transform.NumKinds]int{
+		transform.FUSequence: 1, transform.RegSequence: 0,
+		transform.Spill: 2, transform.CopySpill: 3,
+	}
 }

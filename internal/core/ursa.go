@@ -96,16 +96,25 @@ type Resource struct {
 	Name       string
 	Limit      int
 	IsRegister bool
-	Class      ir.Class // register class, when IsRegister
-	Build      func(g *dag.Graph) *reuse.Reuse
+	// IsBuffer marks an exposed-datapath output-buffer resource: a
+	// value-holding resource (reduced like registers, by sequencing value
+	// lifetimes or spilling) whose items span both register classes.
+	IsBuffer bool
+	Class    ir.Class // register class, when IsRegister && !IsBuffer
+	Build    func(g *dag.Graph) *reuse.Reuse
 }
 
 // Resources derives the resource list for a graph on a machine: one
 // functional-unit resource per FU class (a single one for homogeneous
-// machines) and one register resource per register class used by the code.
+// machines, replicated per cluster on clustered machines, plus the shared
+// inter-cluster transfer bus), one register resource per register class
+// used by the code (per cluster on clustered machines), one output-buffer
+// resource per FU class on buffered exposed-datapath machines, and a
+// machine-wide issue resource when the machine caps total issue width.
 func Resources(g *dag.Graph, m *machine.Config) []Resource {
 	var rs []Resource
-	if m.Homogeneous {
+	nc := m.NumClusters()
+	if m.Homogeneous && nc == 1 {
 		rs = append(rs, Resource{
 			Name:  "fu",
 			Limit: m.Units[machine.ANY],
@@ -113,6 +122,19 @@ func Resources(g *dag.Graph, m *machine.Config) []Resource {
 		})
 	} else {
 		for _, cl := range m.FUClasses() {
+			cl := cl
+			if cl == machine.XFER {
+				// The transfer bus is machine-wide, and its instructions
+				// are exactly the inter-cluster copies.
+				rs = append(rs, Resource{
+					Name:  "fu.xfer",
+					Limit: m.Units.Get(machine.XFER),
+					Build: func(g *dag.Graph) *reuse.Reuse {
+						return reuse.FU(g, func(n *dag.Node) bool { return n.Instr.IsCopy() })
+					},
+				})
+				continue
+			}
 			kinds := m.KindsOf(cl)
 			member := func(n *dag.Node) bool {
 				for _, k := range kinds {
@@ -122,11 +144,30 @@ func Resources(g *dag.Graph, m *machine.Config) []Resource {
 				}
 				return false
 			}
-			rs = append(rs, Resource{
-				Name:  "fu." + cl.String(),
-				Limit: m.Units[cl],
-				Build: func(g *dag.Graph) *reuse.Reuse { return reuse.FU(g, member) },
-			})
+			if nc == 1 {
+				rs = append(rs, Resource{
+					Name:  "fu." + cl.String(),
+					Limit: m.Units[cl],
+					Build: func(g *dag.Graph) *reuse.Reuse { return reuse.FU(g, member) },
+				})
+				continue
+			}
+			for k := 0; k < nc; k++ {
+				k := k
+				name := fmt.Sprintf("fu.c%d", k)
+				if !m.Homogeneous {
+					name = fmt.Sprintf("fu.%s.c%d", cl, k)
+				}
+				rs = append(rs, Resource{
+					Name:  name,
+					Limit: m.Units[cl],
+					Build: func(g *dag.Graph) *reuse.Reuse {
+						return reuse.FU(g, func(n *dag.Node) bool {
+							return int(n.Instr.Cluster) == k && member(n)
+						})
+					},
+				})
+			}
 		}
 	}
 	for c := ir.Class(0); c < ir.NumClasses; c++ {
@@ -134,12 +175,68 @@ func Resources(g *dag.Graph, m *machine.Config) []Resource {
 		if !classUsed(g, c) {
 			continue
 		}
+		if nc == 1 {
+			rs = append(rs, Resource{
+				Name:       "reg." + c.String(),
+				Limit:      m.Regs[c],
+				IsRegister: true,
+				Class:      c,
+				Build:      func(g *dag.Graph) *reuse.Reuse { return reuse.Reg(g, c) },
+			})
+			continue
+		}
+		for k := 0; k < nc; k++ {
+			k := k
+			rs = append(rs, Resource{
+				Name:       fmt.Sprintf("reg.%s.c%d", c, k),
+				Limit:      m.Regs[c],
+				IsRegister: true,
+				Class:      c,
+				Build: func(g *dag.Graph) *reuse.Reuse {
+					f := g.Func
+					var liveIn func(ir.VReg) bool
+					if k == 0 {
+						// Live-in values arrive in cluster 0's file (the
+						// clustered pipelines reject live-ins upstream, so
+						// this is a core-level convention, not a hot path).
+						liveIn = func(v ir.VReg) bool { return f.ClassOf(v) == c }
+					}
+					return reuse.Values(g, c, func(n *dag.Node) bool {
+						return int(n.Instr.Cluster) == k && f.ClassOf(n.Instr.Dst) == c
+					}, liveIn)
+				},
+			})
+		}
+	}
+	if m.BufferDepth > 0 {
+		for _, cl := range m.FUClasses() {
+			cl := cl
+			name := "buf"
+			if !m.Homogeneous {
+				name = "buf." + cl.String()
+			}
+			rs = append(rs, Resource{
+				Name:       name,
+				Limit:      m.BufferCap(cl),
+				IsRegister: true,
+				IsBuffer:   true,
+				Build: func(g *dag.Graph) *reuse.Reuse {
+					// A buffer slot holds every non-live-out value its class
+					// produces — either register class — from issue until the
+					// worst-case kill reader issues; live-outs stream to the
+					// register file at writeback and hold no slot.
+					return reuse.Values(g, ir.ClassInt, func(n *dag.Node) bool {
+						return !g.LiveOut[n.Instr.Dst] && m.ClassFor(n.Instr.Kind()) == cl
+					}, nil)
+				},
+			})
+		}
+	}
+	if m.IssueWidth > 0 {
 		rs = append(rs, Resource{
-			Name:       "reg." + c.String(),
-			Limit:      m.Regs[c],
-			IsRegister: true,
-			Class:      c,
-			Build:      func(g *dag.Graph) *reuse.Reuse { return reuse.Reg(g, c) },
+			Name:  "issue",
+			Limit: m.IssueWidth,
+			Build: func(g *dag.Graph) *reuse.Reuse { return reuse.FU(g, reuse.AllFUs) },
 		})
 	}
 	return rs
@@ -228,6 +325,13 @@ func Run(g *dag.Graph, opts Options) (*Report, error) {
 		// start from clones of the same graph and re-measure overlapping
 		// transformed states.
 		opts.Cache = measure.NewCache()
+	}
+	if m.Clusters > 1 || m.BufferDepth > 0 {
+		// Copy-spill candidates rewrite an opcode in place, which the
+		// incremental engine's undo log cannot restore, and the extended
+		// target models have no delta oracle coverage yet; both run on the
+		// full-clone reference evaluation path.
+		opts.DisableIncremental = true
 	}
 	styles := []scoreStyle{styleDefault, styleAggressive}
 	if !opts.DisableSpills {
@@ -392,7 +496,7 @@ func runOnce(g *dag.Graph, opts Options, style scoreStyle) (*Report, error) {
 			// candidates against it.
 			ev.speculate(cands, best.cand)
 			rep.Iterations++
-			if best.cand.Kind == transform.Spill {
+			if best.cand.Kind == transform.Spill || best.cand.Kind == transform.CopySpill {
 				rep.SpillsInserted++
 			}
 			rep.Applied = append(rep.Applied, Applied{
@@ -471,6 +575,14 @@ func collectCandidates(g *dag.Graph, group []Resource, results map[string]*measu
 				}
 			} else {
 				for _, c := range transform.FUCandidates(g, res, set) {
+					out = append(out, scored{c, r.Name})
+				}
+			}
+			if opts.Machine.Clusters > 1 && !opts.DisableSpills {
+				// Any inter-cluster copy caught in an excess set — holding
+				// the bus, or holding the register its destination defines —
+				// can alternatively go through memory.
+				for _, c := range transform.CopySpillCandidates(g, res, set) {
 					out = append(out, scored{c, r.Name})
 				}
 			}
@@ -555,9 +667,10 @@ func pickPlateau(evals []evalOutcome, curExcess int) (scored, int, bool) {
 	}
 	var outs []outcome
 	for _, o := range evals {
-		if o.s.cand.Kind != transform.Spill {
+		if o.s.cand.Kind != transform.Spill && o.s.cand.Kind != transform.CopySpill {
 			// Sequencing-only plateau moves just narrow the DAG without
-			// changing its value structure; restrict plateaus to spills.
+			// changing its value structure; restrict plateaus to spills
+			// (copy-spills restructure values the same way).
 			continue
 		}
 		if !o.ok || o.excess > curExcess {

@@ -57,6 +57,7 @@ func (g *Graph) Fingerprint() [sha256.Size]byte {
 		wStr(in.Sym)
 		wInt(in.Off)
 		wReg(in.Index)
+		wInt(int64(in.Cluster))
 	}
 
 	edges := g.Edges()

@@ -363,3 +363,39 @@ func TestNodeLimit(t *testing.T) {
 		t.Fatalf("err = %v, want ErrTooLarge", err)
 	}
 }
+
+// TestIssueWidthBound pins the fetch-bound case: six independent loads on
+// a machine with units to spare but a 2-instruction issue width must take
+// ceil(6/2) = 3 words — the solver may not pack wider than the front end
+// can fetch.
+func TestIssueWidthBound(t *testing.T) {
+	g := buildGraph(t, `
+func fetchbound {
+entry:
+	a = load V[0]
+	b = load V[1]
+	c = load V[2]
+	d = load V[3]
+	e = load V[4]
+	f = load V[5]
+}
+`)
+	m := machine.VLIW(8, 16)
+	m.IssueWidth = 2
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s, err := exact.Makespan(g, m, exact.Options{})
+	if err != nil {
+		t.Fatalf("Makespan: %v", err)
+	}
+	if s.Cycles != 3 {
+		t.Errorf("Cycles = %d, want 3 (6 loads through a 2-wide front end)", s.Cycles)
+	}
+	if w := s.MaxIssueWidth(); w > 2 {
+		t.Errorf("schedule issues %d per cycle, fetch bound is 2", w)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+}

@@ -113,6 +113,7 @@ type makespanSearch struct {
 	class   []machine.FUClass // bit -> FU class
 	classes []machine.FUClass // deterministic class order
 	units   map[machine.FUClass]int
+	iw      int     // global issue width; 0 = unbounded (pure VLIW)
 	preds   [][]int // bit -> predecessor bits that must have finished
 	topo    []int   // bits in topological order
 	tail    []int   // bit -> longest latency path to the end, incl. own
@@ -183,8 +184,9 @@ func newMakespanSearch(g *dag.Graph, m *machine.Config, opts Options, relax bool
 			}
 		}
 	}
+	s.iw = m.IssueWidth
 	for _, cl := range s.classes {
-		s.units[cl] = m.Units[cl]
+		s.units[cl] = m.Units.Get(cl)
 	}
 	for i, id := range instrs {
 		in := g.Nodes[id].Instr
@@ -262,6 +264,12 @@ func (s *makespanSearch) rootLB() int {
 			if b := (w + u - 1) / u; b > lb {
 				lb = b
 			}
+		}
+	}
+	if s.iw > 0 {
+		// Every instruction consumes one fetch slot for its issue cycle.
+		if b := (s.n + s.iw - 1) / s.iw; b > lb {
+			lb = b
 		}
 	}
 	return lb
@@ -357,6 +365,13 @@ func (s *makespanSearch) lb(t int, issued, finished uint64, rem []int8) int {
 			if b := t + (w+u-1)/u; b > lb {
 				lb = b
 			}
+		}
+	}
+	if s.iw > 0 {
+		// Unissued instructions still need a fetch slot each.
+		left := s.n - bits.OnesCount64(issued)
+		if b := t + (left+s.iw-1)/s.iw; b > lb {
+			lb = b
 		}
 	}
 	return lb
@@ -488,6 +503,9 @@ func (s *makespanSearch) expand(t int, issued, finished uint64, rem []int8) erro
 
 	var combine func(ci int, mask uint64) error
 	combine = func(ci int, mask uint64) error {
+		if s.iw > 0 && bits.OnesCount64(mask) > s.iw {
+			return nil // over the fetch bound; larger supersets prune too
+		}
 		if ci == len(subsets) {
 			if mask == 0 {
 				if inflight == 0 {

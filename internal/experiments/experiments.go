@@ -92,6 +92,7 @@ func All() []Experiment {
 		{"T13", T13PrioritizedMatching},
 		{"T14", T14HeuristicGap},
 		{"T15", T15ModuloScheduling},
+		{"T16", T16TargetFamilies},
 	}
 }
 

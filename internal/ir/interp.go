@@ -77,7 +77,7 @@ func (s *State) Exec(f *Func, in *Instr) {
 		s.Regs[in.Dst] = IntWord(in.Imm)
 	case ConstF:
 		s.Regs[in.Dst] = FloatWord(in.FImm)
-	case Mov:
+	case Mov, Copy:
 		s.Regs[in.Dst] = arg(0)
 	case ItoF:
 		s.Regs[in.Dst] = FloatWord(float64(arg(0).Int()))

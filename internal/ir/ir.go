@@ -59,6 +59,7 @@ const (
 	KindFArith      // floating-point ALU
 	KindMem         // load/store unit
 	KindBranch      // branch unit
+	KindCopy        // inter-cluster copy (clustered targets' transfer bus)
 )
 
 // String returns the kind's name.
@@ -76,6 +77,8 @@ func (k Kind) String() string {
 		return "mem"
 	case KindBranch:
 		return "branch"
+	case KindCopy:
+		return "copy"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -96,6 +99,10 @@ type Instr struct {
 	Off  int64  // constant memory offset
 	// Index is the optional index register for memory ops; NoReg if direct.
 	Index VReg
+	// Cluster is the executing cluster on clustered targets (compiler
+	// internal: assigned by the clusterizer, always 0 for unclustered
+	// machines; not part of the textual format).
+	Cluster uint8
 }
 
 // Uses returns all registers read by the instruction, including the memory
@@ -121,6 +128,9 @@ func (in *Instr) IsLoad() bool { return in.IsMem() && !in.IsStore() }
 
 // IsBranch reports whether the instruction is a control transfer.
 func (in *Instr) IsBranch() bool { return Info(in.Op).Kind == KindBranch }
+
+// IsCopy reports whether the instruction is an inter-cluster copy.
+func (in *Instr) IsCopy() bool { return in.Op == Copy }
 
 // Kind returns the functional-unit kind of the instruction.
 func (in *Instr) Kind() Kind { return Info(in.Op).Kind }

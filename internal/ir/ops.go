@@ -87,6 +87,12 @@ const (
 	BrFalse // if arg0 == 0 goto Sym
 	Ret     // return (optionally arg0)
 
+	// Inter-cluster copy (clustered VLIW targets): dst = arg0, executed on
+	// the transfer bus. Semantically a move of either class; kept distinct
+	// from Mov so the resource model can price copies as their own FU class
+	// and the simulator can audit cluster legality.
+	Copy
+
 	numOps
 )
 
@@ -171,6 +177,8 @@ var opInfos = [numOps]OpInfo{
 	BrTrue:  {Name: "brt", Kind: KindBranch, NArgs: 1},
 	BrFalse: {Name: "brf", Kind: KindBranch, NArgs: 1},
 	Ret:     {Name: "ret", Kind: KindBranch},
+
+	Copy: {Name: "xcopy", Kind: KindCopy, NArgs: 1, HasDst: true},
 }
 
 // Info returns the static description of an opcode.

@@ -62,9 +62,10 @@ func verifyInstr(f *Func, b *Block, in *Instr) error {
 		if err := check(in.Dst, "destination"); err != nil {
 			return err
 		}
-		// Spill ops inherit the class of the spilled value; Mov inherits
-		// its operand's class; everything else is fixed by the opcode.
-		if in.Op != SpillLoad && in.Op != Mov && f.ClassOf(in.Dst) != info.DstClass {
+		// Spill ops inherit the class of the spilled value; Mov and Copy
+		// inherit their operand's class; everything else is fixed by the
+		// opcode.
+		if in.Op != SpillLoad && in.Op != Mov && in.Op != Copy && f.ClassOf(in.Dst) != info.DstClass {
 			return fmt.Errorf("%s: destination class %s, want %s",
 				ctx(), f.ClassOf(in.Dst), info.DstClass)
 		}
@@ -85,8 +86,12 @@ func verifyInstr(f *Func, b *Block, in *Instr) error {
 	if !in.IsMem() && in.Index != NoReg {
 		return fmt.Errorf("%s: index register on non-memory op", ctx())
 	}
+	if in.Op == Copy && len(in.Args) == 1 && f.ClassOf(in.Dst) != f.ClassOf(in.Args[0]) {
+		return fmt.Errorf("%s: copy source class %s, destination class %s",
+			ctx(), f.ClassOf(in.Args[0]), f.ClassOf(in.Dst))
+	}
 	for _, a := range in.Args {
-		if in.Op == Mov || in.Op == SpillStore || in.Op == Ret {
+		if in.Op == Mov || in.Op == Copy || in.Op == SpillStore || in.Op == Ret {
 			continue // class-polymorphic
 		}
 		if f.ClassOf(a) != info.ArgClass {

@@ -3,6 +3,23 @@
 // and per-operation latencies. The paper's machines are non-pipelined with
 // homogeneous functional units; heterogeneous unit classes and multi-cycle
 // latencies are supported as the natural extension (§5, §6).
+//
+// Beyond the paper's model the package describes three further target
+// families (see internal/target for preset composition):
+//
+//   - Clustered VLIW: Clusters > 1 splits the machine into identical
+//     clusters, each with its own copy of the per-class units and its own
+//     register files. Values move between clusters on an explicit transfer
+//     bus (the XFER class), so an inter-cluster copy consumes both an issue
+//     slot and a destination register — exactly the two resources URSA
+//     allocates in a unified fashion.
+//   - Wide superscalar: IssueWidth > 0 caps the total instructions issued
+//     per cycle across all unit classes (a fetch/decode bound narrower than
+//     the sum of the units).
+//   - Buffered exposed datapath: BufferDepth > 0 gives every functional
+//     unit a depth-limited output buffer; a value occupies one slot of its
+//     producer class from issue until its last consumer reads it, unless it
+//     retires to the register file as a live-out.
 package machine
 
 import (
@@ -22,8 +39,12 @@ const (
 	FALU                // floating-point ALU
 	MEM                 // load/store unit
 	BR                  // branch unit
-	numFUClasses
+	XFER                // inter-cluster transfer bus (clustered machines)
+	NumFUClasses
 )
+
+// numFUClasses is kept as an internal alias for the exported bound.
+const numFUClasses = NumFUClasses
 
 // String returns the class mnemonic.
 func (c FUClass) String() string {
@@ -38,8 +59,55 @@ func (c FUClass) String() string {
 		return "mem"
 	case BR:
 		return "br"
+	case XFER:
+		return "xfer"
 	}
 	return fmt.Sprintf("fu(%d)", uint8(c))
+}
+
+// ClassByName returns the FU class with the given mnemonic.
+func ClassByName(name string) (FUClass, bool) {
+	for cl := FUClass(0); cl < NumFUClasses; cl++ {
+		if cl.String() == name {
+			return cl, true
+		}
+	}
+	return 0, false
+}
+
+// UnitTable holds the functional-unit count per class, indexed by FUClass.
+// Unlike the fixed array it replaced, the table is extensible: new classes
+// append to the FUClass enumeration and every full-length table covers
+// them. Tables built by NewUnitTable (and every constructor in this
+// package) always have length NumFUClasses, so call sites may index
+// directly; Get tolerates short or nil tables from hand-built configs.
+type UnitTable []int
+
+// NewUnitTable returns a zeroed full-length table.
+func NewUnitTable() UnitTable { return make(UnitTable, NumFUClasses) }
+
+// Get returns the unit count of a class, 0 when the table is short or nil.
+func (t UnitTable) Get(cl FUClass) int {
+	if int(cl) < len(t) {
+		return t[cl]
+	}
+	return 0
+}
+
+// Clone returns an independent full-length copy of the table.
+func (t UnitTable) Clone() UnitTable {
+	c := NewUnitTable()
+	copy(c, t)
+	return c
+}
+
+// Total sums the unit counts over all classes.
+func (t UnitTable) Total() int {
+	n := 0
+	for _, u := range t {
+		n += u
+	}
+	return n
 }
 
 // Config is a machine description.
@@ -50,9 +118,13 @@ type Config struct {
 	// class-specific units.
 	Homogeneous bool
 	// Units holds the functional-unit count per class (index by FUClass).
-	// For homogeneous machines only Units[ANY] is meaningful.
-	Units [numFUClasses]int
-	// Regs holds the register-file size per register class.
+	// For homogeneous machines only Units[ANY] (plus Units[XFER] on
+	// clustered machines) is meaningful. On clustered machines the counts
+	// are per cluster, except Units[XFER]: the transfer bus is shared
+	// machine-wide.
+	Units UnitTable
+	// Regs holds the register-file size per register class; per cluster on
+	// clustered machines.
 	Regs [ir.NumClasses]int
 	// Latency gives each opcode's execution time in cycles; nil means unit
 	// latency. By default units are not pipelined: a unit is busy for the
@@ -64,6 +136,22 @@ type Config struct {
 	// superscalar/pipelined targets. Dependences still wait the full
 	// latency; only unit occupancy changes.
 	Pipelined bool
+
+	// Clusters > 1 selects the clustered model: that many identical
+	// clusters, each with its own Units (bar XFER) and register files.
+	// 0 and 1 both mean unclustered.
+	Clusters int
+	// CopyLatency is the latency of an inter-cluster copy; 0 means 1.
+	CopyLatency int
+	// BufferDepth > 0 selects the buffered exposed-datapath model: each
+	// functional unit owns an output buffer of this depth, so at most
+	// Units[cl]·BufferDepth values produced by class cl may be in flight
+	// (defined, not yet consumed by their last reader, not retired as a
+	// live-out) at once.
+	BufferDepth int
+	// IssueWidth > 0 caps the total instructions issued per cycle across
+	// all classes (wide-superscalar fetch bound). 0 means no global cap.
+	IssueWidth int
 }
 
 // OccupancyOf returns how many cycles one instruction keeps its unit busy.
@@ -81,6 +169,7 @@ func VLIW(width, regs int) *Config {
 	c := &Config{
 		Name:        fmt.Sprintf("vliw%dx%dr", width, regs),
 		Homogeneous: true,
+		Units:       NewUnitTable(),
 	}
 	c.Units[ANY] = width
 	for i := range c.Regs {
@@ -92,7 +181,8 @@ func VLIW(width, regs int) *Config {
 // Heterogeneous returns a machine with per-class functional units.
 func Heterogeneous(ialu, falu, mem, br, intRegs, fpRegs int) *Config {
 	c := &Config{
-		Name: fmt.Sprintf("het%d%d%d%d", ialu, falu, mem, br),
+		Name:  fmt.Sprintf("het%d%d%d%d", ialu, falu, mem, br),
+		Units: NewUnitTable(),
 	}
 	c.Units[IALU] = ialu
 	c.Units[FALU] = falu
@@ -100,6 +190,35 @@ func Heterogeneous(ialu, falu, mem, br, intRegs, fpRegs int) *Config {
 	c.Units[BR] = br
 	c.Regs[ir.ClassInt] = intRegs
 	c.Regs[ir.ClassFP] = fpRegs
+	return c
+}
+
+// Clustered returns a clustered homogeneous VLIW: clusters identical
+// clusters of width units and regs registers per file each, joined by
+// buses inter-cluster copy buses of unit latency.
+func Clustered(clusters, width, regs, buses int) *Config {
+	c := &Config{
+		Name:        fmt.Sprintf("clus%dx%dx%dr", clusters, width, regs),
+		Homogeneous: true,
+		Units:       NewUnitTable(),
+		Clusters:    clusters,
+		CopyLatency: 1,
+	}
+	c.Units[ANY] = width
+	c.Units[XFER] = buses
+	for i := range c.Regs {
+		c.Regs[i] = regs
+	}
+	return c
+}
+
+// ExposedDatapath returns a buffered exposed-datapath machine: a
+// homogeneous VLIW whose functional units each hold up to depth results in
+// an output buffer until the last consumer reads them.
+func ExposedDatapath(width, regs, depth int) *Config {
+	c := VLIW(width, regs)
+	c.Name = fmt.Sprintf("edp%dx%dr.b%d", width, regs, depth)
+	c.BufferDepth = depth
 	return c
 }
 
@@ -119,7 +238,15 @@ func RealisticLatency(op ir.Op) int {
 }
 
 // LatencyOf returns the latency of an opcode under this machine.
+// Inter-cluster copies take CopyLatency cycles regardless of the latency
+// model, which predates them.
 func (c *Config) LatencyOf(op ir.Op) int {
+	if op == ir.Copy {
+		if c.CopyLatency > 0 {
+			return c.CopyLatency
+		}
+		return 1
+	}
 	if c.Latency == nil {
 		return 1
 	}
@@ -131,6 +258,9 @@ func (c *Config) LatencyOf(op ir.Op) int {
 
 // ClassFor maps an instruction kind to the FU class that executes it.
 func (c *Config) ClassFor(k ir.Kind) FUClass {
+	if k == ir.KindCopy {
+		return XFER
+	}
 	if c.Homogeneous {
 		return ANY
 	}
@@ -146,20 +276,53 @@ func (c *Config) ClassFor(k ir.Kind) FUClass {
 	}
 }
 
-// UnitsFor returns how many units can execute instructions of kind k.
+// UnitsFor returns how many units can execute instructions of kind k
+// (per cluster, on clustered machines).
 func (c *Config) UnitsFor(k ir.Kind) int {
-	return c.Units[c.ClassFor(k)]
+	return c.Units.Get(c.ClassFor(k))
+}
+
+// TotalUnits returns the machine-wide unit count of a class: per-cluster
+// counts are replicated over the clusters; the XFER bus is shared.
+func (c *Config) TotalUnits(cl FUClass) int {
+	u := c.Units.Get(cl)
+	if c.Clusters > 1 && cl != XFER {
+		return u * c.Clusters
+	}
+	return u
+}
+
+// NumClusters returns the cluster count, at least 1.
+func (c *Config) NumClusters() int {
+	if c.Clusters > 1 {
+		return c.Clusters
+	}
+	return 1
+}
+
+// BufferCap returns the output-buffer capacity of a class on an
+// exposed-datapath machine, 0 when the model is inactive.
+func (c *Config) BufferCap(cl FUClass) int {
+	if c.BufferDepth <= 0 {
+		return 0
+	}
+	return c.Units.Get(cl) * c.BufferDepth
 }
 
 // FUClasses returns the distinct FU classes this machine schedules
-// (just ANY for homogeneous machines).
+// (just ANY for homogeneous machines, plus XFER when a transfer bus
+// exists).
 func (c *Config) FUClasses() []FUClass {
 	if c.Homogeneous {
-		return []FUClass{ANY}
+		out := []FUClass{ANY}
+		if c.Units.Get(XFER) > 0 {
+			out = append(out, XFER)
+		}
+		return out
 	}
 	var out []FUClass
-	for cl := IALU; cl < numFUClasses; cl++ {
-		if c.Units[cl] > 0 {
+	for cl := IALU; cl < NumFUClasses; cl++ {
+		if c.Units.Get(cl) > 0 {
 			out = append(out, cl)
 		}
 	}
@@ -169,7 +332,7 @@ func (c *Config) FUClasses() []FUClass {
 // KindsOf returns the instruction kinds executed by FU class cl under this
 // machine.
 func (c *Config) KindsOf(cl FUClass) []ir.Kind {
-	all := []ir.Kind{ir.KindNop, ir.KindConst, ir.KindIArith, ir.KindFArith, ir.KindMem, ir.KindBranch}
+	all := []ir.Kind{ir.KindNop, ir.KindConst, ir.KindIArith, ir.KindFArith, ir.KindMem, ir.KindBranch, ir.KindCopy}
 	var out []ir.Kind
 	for _, k := range all {
 		if c.ClassFor(k) == cl {
@@ -177,6 +340,14 @@ func (c *Config) KindsOf(cl FUClass) []ir.Kind {
 		}
 	}
 	return out
+}
+
+// Clone returns an independent copy of the configuration (the latency
+// function is shared; it is immutable by convention).
+func (c *Config) Clone() *Config {
+	cp := *c
+	cp.Units = c.Units.Clone()
+	return &cp
 }
 
 // Validate checks the configuration is usable.
@@ -191,11 +362,62 @@ func (c *Config) Validate() error {
 	if total == 0 {
 		return fmt.Errorf("machine %s: no functional units", c.Name)
 	}
+	if !c.Homogeneous {
+		// Every FU class an instruction kind can map onto must exist:
+		// a heterogeneous machine with, say, zero MEM units can never
+		// schedule a load, no matter what the latency table says about it.
+		for _, cl := range []FUClass{IALU, FALU, MEM, BR} {
+			if c.Units.Get(cl) < 1 {
+				return fmt.Errorf("machine %s: heterogeneous config has no %s units; every instruction class needs at least one",
+					c.Name, cl)
+			}
+		}
+	}
 	for cl, r := range c.Regs {
 		if r < 1 {
 			return fmt.Errorf("machine %s: register class %s has %d registers; need at least 1",
 				c.Name, ir.Class(cl), r)
 		}
+	}
+	if c.Clusters < 0 {
+		return fmt.Errorf("machine %s: negative cluster count", c.Name)
+	}
+	if c.Clusters > 1 {
+		if c.Units.Get(XFER) < 1 {
+			return fmt.Errorf("machine %s: clustered config needs at least one xfer bus", c.Name)
+		}
+		if c.Clusters > 255 {
+			return fmt.Errorf("machine %s: cluster count %d exceeds 255", c.Name, c.Clusters)
+		}
+	} else if c.Units.Get(XFER) > 0 {
+		return fmt.Errorf("machine %s: xfer units on an unclustered machine", c.Name)
+	}
+	if c.CopyLatency < 0 {
+		return fmt.Errorf("machine %s: negative copy latency", c.Name)
+	}
+	if c.BufferDepth < 0 {
+		return fmt.Errorf("machine %s: negative buffer depth", c.Name)
+	}
+	if c.BufferDepth > 0 {
+		if !c.Homogeneous {
+			return fmt.Errorf("machine %s: exposed-datapath buffering requires homogeneous units", c.Name)
+		}
+		// A binary operation needs both operands buffered simultaneously,
+		// so a machine whose total capacity cannot hold two values can
+		// never execute one, whatever the schedule.
+		if c.BufferCap(ANY) < 2 {
+			return fmt.Errorf("machine %s: total buffer capacity %d cannot hold a binary operation's operands",
+				c.Name, c.BufferCap(ANY))
+		}
+	}
+	if c.IssueWidth < 0 {
+		return fmt.Errorf("machine %s: negative issue width", c.Name)
+	}
+	if c.Clusters > 1 && c.BufferDepth > 0 {
+		return fmt.Errorf("machine %s: clustered and exposed-datapath models cannot combine", c.Name)
+	}
+	if c.Clusters > 1 && c.IssueWidth > 0 {
+		return fmt.Errorf("machine %s: clustered machines take no global issue width", c.Name)
 	}
 	return nil
 }
@@ -203,11 +425,21 @@ func (c *Config) Validate() error {
 // String renders a summary like "vliw4x8r: 4×any, 8 int / 8 fp regs".
 func (c *Config) String() string {
 	var units []string
-	for cl := FUClass(0); cl < numFUClasses; cl++ {
-		if c.Units[cl] > 0 {
+	for cl := FUClass(0); cl < NumFUClasses; cl++ {
+		if c.Units.Get(cl) > 0 {
 			units = append(units, fmt.Sprintf("%d×%s", c.Units[cl], cl))
 		}
 	}
-	return fmt.Sprintf("%s: %s, %d int / %d fp regs",
+	s := fmt.Sprintf("%s: %s, %d int / %d fp regs",
 		c.Name, strings.Join(units, " "), c.Regs[ir.ClassInt], c.Regs[ir.ClassFP])
+	if c.Clusters > 1 {
+		s += fmt.Sprintf(", %d clusters", c.Clusters)
+	}
+	if c.BufferDepth > 0 {
+		s += fmt.Sprintf(", buffers×%d", c.BufferDepth)
+	}
+	if c.IssueWidth > 0 {
+		s += fmt.Sprintf(", issue %d", c.IssueWidth)
+	}
+	return s
 }

@@ -80,6 +80,95 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
+// Regression: a heterogeneous config with zero units in a referenced class
+// used to validate (total units > 0 was the only check), then wedge the
+// scheduler on the first load. Validate must reject it up front.
+func TestValidateRejectsHetMissingClass(t *testing.T) {
+	for _, cl := range []FUClass{IALU, FALU, MEM, BR} {
+		m := Heterogeneous(2, 1, 1, 1, 8, 8)
+		m.Units[cl] = 0
+		if err := m.Validate(); err == nil {
+			t.Errorf("heterogeneous config with no %s units accepted", cl)
+		} else if !strings.Contains(err.Error(), cl.String()) {
+			t.Errorf("error %q does not name the missing class %s", err, cl)
+		}
+	}
+}
+
+func TestClusteredPreset(t *testing.T) {
+	m := Clustered(2, 2, 4, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.NumClusters() != 2 || m.Units[ANY] != 2 || m.Units[XFER] != 1 {
+		t.Errorf("Clustered(2,2,4,1) = %+v", m)
+	}
+	if got := m.TotalUnits(ANY); got != 4 {
+		t.Errorf("TotalUnits(ANY) = %d, want per-cluster count replicated", got)
+	}
+	if got := m.TotalUnits(XFER); got != 1 {
+		t.Errorf("TotalUnits(XFER) = %d, want machine-wide bus count", got)
+	}
+	if m.ClassFor(ir.KindCopy) != XFER {
+		t.Error("copies must execute on the transfer bus")
+	}
+	if m.LatencyOf(ir.Copy) != 1 {
+		t.Errorf("LatencyOf(Copy) = %d", m.LatencyOf(ir.Copy))
+	}
+	if cls := m.FUClasses(); len(cls) != 2 || cls[0] != ANY || cls[1] != XFER {
+		t.Errorf("FUClasses = %v", cls)
+	}
+	// Bus-less or single-cluster-with-bus configs are malformed.
+	bad := Clustered(2, 2, 4, 0)
+	if err := bad.Validate(); err == nil {
+		t.Error("clustered config without a transfer bus accepted")
+	}
+	bad = Clustered(1, 2, 4, 1)
+	if err := bad.Validate(); err == nil {
+		t.Error("xfer units on an unclustered machine accepted")
+	}
+}
+
+func TestExposedDatapathPreset(t *testing.T) {
+	m := ExposedDatapath(4, 8, 2)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.BufferCap(ANY) != 8 {
+		t.Errorf("BufferCap(ANY) = %d, want units×depth", m.BufferCap(ANY))
+	}
+	if VLIW(4, 8).BufferCap(ANY) != 0 {
+		t.Error("BufferCap must be 0 when the model is inactive")
+	}
+	bad := Clustered(2, 2, 4, 1)
+	bad.BufferDepth = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("clustered+EDP combination accepted")
+	}
+}
+
+func TestIssueWidth(t *testing.T) {
+	m := Heterogeneous(6, 2, 3, 1, 16, 16)
+	m.IssueWidth = 12
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	m.IssueWidth = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative issue width accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := Clustered(2, 2, 4, 1)
+	c := m.Clone()
+	c.Units[ANY] = 99
+	c.Clusters = 7
+	if m.Units[ANY] != 2 || m.Clusters != 2 {
+		t.Error("Clone shares mutable state with the original")
+	}
+}
+
 func TestString(t *testing.T) {
 	s := VLIW(4, 8).String()
 	for _, want := range []string{"vliw4x8r", "4×any", "8 int"} {

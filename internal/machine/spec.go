@@ -1,0 +1,140 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ursa/internal/ir"
+)
+
+// Spec is the portable JSON form of a Config: what compile requests embed
+// inline and what the machine catalog serves. The latency function, not
+// being serializable, travels as a model name.
+type Spec struct {
+	Name        string `json:"name,omitempty"`
+	Homogeneous bool   `json:"homogeneous,omitempty"`
+	// Units maps class mnemonics ("any", "ialu", "falu", "mem", "br",
+	// "xfer") to unit counts. Absent classes have zero units.
+	Units   map[string]int `json:"units"`
+	IntRegs int            `json:"int_regs"`
+	FPRegs  int            `json:"fp_regs"`
+	// Latency is "unit" (default) or "realistic".
+	Latency     string `json:"latency,omitempty"`
+	Pipelined   bool   `json:"pipelined,omitempty"`
+	Clusters    int    `json:"clusters,omitempty"`
+	CopyLatency int    `json:"copy_latency,omitempty"`
+	BufferDepth int    `json:"buffer_depth,omitempty"`
+	IssueWidth  int    `json:"issue_width,omitempty"`
+}
+
+// Config materializes the spec into a validated machine configuration.
+func (s *Spec) Config() (*Config, error) {
+	c := &Config{
+		Name:        s.Name,
+		Homogeneous: s.Homogeneous,
+		Units:       NewUnitTable(),
+		Pipelined:   s.Pipelined,
+		Clusters:    s.Clusters,
+		CopyLatency: s.CopyLatency,
+		BufferDepth: s.BufferDepth,
+		IssueWidth:  s.IssueWidth,
+	}
+	for name, n := range s.Units {
+		cl, ok := ClassByName(name)
+		if !ok {
+			return nil, fmt.Errorf("machine spec: unknown unit class %q", name)
+		}
+		c.Units[cl] = n
+	}
+	c.Regs[ir.ClassInt] = s.IntRegs
+	c.Regs[ir.ClassFP] = s.FPRegs
+	switch s.Latency {
+	case "", "unit":
+	case "realistic":
+		c.Latency = RealisticLatency
+	default:
+		return nil, fmt.Errorf("machine spec: unknown latency model %q (want \"unit\" or \"realistic\")", s.Latency)
+	}
+	if c.Name == "" {
+		c.Name = "custom"
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SpecOf returns the portable spec of a configuration. It fails when the
+// latency function matches no named model (a custom closure cannot travel
+// as JSON).
+func SpecOf(c *Config) (*Spec, error) {
+	lat, err := latencyName(c.Latency)
+	if err != nil {
+		return nil, fmt.Errorf("machine %s: %w", c.Name, err)
+	}
+	s := &Spec{
+		Name:        c.Name,
+		Homogeneous: c.Homogeneous,
+		Units:       make(map[string]int),
+		IntRegs:     c.Regs[ir.ClassInt],
+		FPRegs:      c.Regs[ir.ClassFP],
+		Latency:     lat,
+		Pipelined:   c.Pipelined,
+		Clusters:    c.Clusters,
+		CopyLatency: c.CopyLatency,
+		BufferDepth: c.BufferDepth,
+		IssueWidth:  c.IssueWidth,
+	}
+	for cl := FUClass(0); cl < NumFUClasses; cl++ {
+		if n := c.Units.Get(cl); n > 0 {
+			s.Units[cl.String()] = n
+		}
+	}
+	return s, nil
+}
+
+// latencyName identifies a latency function by probing it over the whole
+// opcode set: functions are not comparable in Go, but latency models are
+// pure tables, so extensional equality is decidable.
+func latencyName(f func(ir.Op) int) (string, error) {
+	if f == nil {
+		return "unit", nil
+	}
+	unit, realistic := true, true
+	for op := ir.Op(0); int(op) < ir.NumOps; op++ {
+		l := f(op)
+		if l != 1 && l > 0 {
+			unit = false
+		}
+		if l != RealisticLatency(op) {
+			realistic = false
+		}
+	}
+	switch {
+	case realistic:
+		return "realistic", nil
+	case unit:
+		return "unit", nil
+	}
+	return "", fmt.Errorf("latency function matches no named model")
+}
+
+// MarshalSpec renders a configuration as canonical JSON (ParseSpec's
+// inverse; map keys sort, so equal configs marshal byte-identically).
+func MarshalSpec(c *Config) ([]byte, error) {
+	s, err := SpecOf(c)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(s)
+}
+
+// ParseSpec parses a JSON machine spec and materializes it into a
+// validated configuration.
+func ParseSpec(data []byte) (*Config, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("machine spec: %w", err)
+	}
+	return s.Config()
+}

@@ -1,0 +1,129 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"ursa/internal/ir"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	realistic := VLIW(4, 8)
+	realistic.Latency = RealisticLatency
+	configs := []*Config{
+		VLIW(2, 3),
+		VLIW(4, 8),
+		realistic,
+		Heterogeneous(2, 1, 1, 1, 6, 4),
+		Clustered(2, 2, 4, 1),
+		ExposedDatapath(4, 8, 2),
+	}
+	wide := Heterogeneous(6, 2, 3, 1, 16, 16)
+	wide.IssueWidth = 12
+	wide.Pipelined = true
+	wide.Latency = RealisticLatency
+	configs = append(configs, wide)
+
+	for _, c := range configs {
+		data, err := MarshalSpec(c)
+		if err != nil {
+			t.Fatalf("%s: MarshalSpec: %v", c.Name, err)
+		}
+		back, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("%s: ParseSpec(%s): %v", c.Name, data, err)
+		}
+		data2, err := MarshalSpec(back)
+		if err != nil {
+			t.Fatalf("%s: re-MarshalSpec: %v", c.Name, err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Errorf("%s: round trip not canonical:\n  %s\n  %s", c.Name, data, data2)
+		}
+		if back.Name != c.Name || back.Homogeneous != c.Homogeneous ||
+			back.Clusters != c.Clusters || back.BufferDepth != c.BufferDepth ||
+			back.IssueWidth != c.IssueWidth || back.Pipelined != c.Pipelined ||
+			back.Regs != c.Regs {
+			t.Errorf("%s: round trip changed config: %+v vs %+v", c.Name, back, c)
+		}
+		for cl := FUClass(0); cl < NumFUClasses; cl++ {
+			if back.Units.Get(cl) != c.Units.Get(cl) {
+				t.Errorf("%s: units[%s] = %d, want %d", c.Name, cl, back.Units.Get(cl), c.Units.Get(cl))
+			}
+		}
+		for op := ir.Op(0); int(op) < ir.NumOps; op++ {
+			if back.LatencyOf(op) != c.LatencyOf(op) {
+				t.Errorf("%s: latency(%s) = %d, want %d", c.Name, op, back.LatencyOf(op), c.LatencyOf(op))
+			}
+		}
+	}
+}
+
+func TestSpecRejects(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"units":{"warp":1},"int_regs":4,"fp_regs":4}`,
+		`{"units":{"ialu":2},"int_regs":4,"fp_regs":4}`,                                 // het missing classes
+		`{"homogeneous":true,"units":{"any":2},"int_regs":0,"fp_regs":4}`,               // zero regs
+		`{"homogeneous":true,"units":{"any":2},"int_regs":4,"fp_regs":4,"latency":"x"}`, // bad latency
+		`{"homogeneous":true,"units":{"any":2,"xfer":1},"int_regs":4,"fp_regs":4}`,      // xfer, unclustered
+		`{"homogeneous":true,"units":{"any":2},"clusters":2,"int_regs":4,"fp_regs":4}`,  // clustered, no bus
+		`{"homogeneous":true,"units":{"any":2,"xfer":1},"clusters":2,"buffer_depth":1,"int_regs":4,"fp_regs":4}`,
+	}
+	for _, src := range cases {
+		if _, err := ParseSpec([]byte(src)); err == nil {
+			t.Errorf("ParseSpec(%s) accepted", src)
+		}
+	}
+}
+
+func TestSpecOfCustomLatencyFails(t *testing.T) {
+	m := VLIW(2, 4)
+	m.Latency = func(op ir.Op) int {
+		if op == ir.Add {
+			return 7
+		}
+		return 1
+	}
+	if _, err := MarshalSpec(m); err == nil {
+		t.Error("custom latency closure marshalled")
+	}
+}
+
+// FuzzParseSpec checks that any accepted spec re-marshals canonically:
+// parse → marshal → parse → marshal must be a fixed point and never panic.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		`{"homogeneous":true,"units":{"any":4},"int_regs":8,"fp_regs":8}`,
+		`{"units":{"ialu":2,"falu":1,"mem":1,"br":1},"int_regs":6,"fp_regs":4}`,
+		`{"homogeneous":true,"units":{"any":2,"xfer":1},"clusters":2,"copy_latency":1,"int_regs":4,"fp_regs":4}`,
+		`{"homogeneous":true,"units":{"any":4},"buffer_depth":2,"int_regs":8,"fp_regs":8}`,
+		`{"units":{"ialu":6,"falu":2,"mem":3,"br":1},"issue_width":12,"pipelined":true,"latency":"realistic","int_regs":16,"fp_regs":16}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("ParseSpec accepted an invalid config: %v", err)
+		}
+		out, err := MarshalSpec(c)
+		if err != nil {
+			t.Fatalf("MarshalSpec of a parsed config failed: %v", err)
+		}
+		back, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nspec: %s", err, out)
+		}
+		out2, err := MarshalSpec(back)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("marshal not canonical:\n  %s\n  %s", out, out2)
+		}
+	})
+}

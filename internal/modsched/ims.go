@@ -66,7 +66,7 @@ func ims(d *ddg, m *machine.Config, ii int) *imsResult {
 	}
 	fits := func(v, at int) bool {
 		slotDemand(at, occ[v], ii, demand)
-		row, lim := mrt[cls[v]], m.Units[cls[v]]
+		row, lim := mrt[cls[v]], m.Units.Get(cls[v])
 		for s, dm := range demand {
 			if dm > 0 && row[s]+dm > lim {
 				return false

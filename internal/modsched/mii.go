@@ -15,7 +15,7 @@ func resMII(d *ddg, m *machine.Config) int {
 	}
 	mii := 1
 	for cl, o := range occ {
-		u := m.Units[cl]
+		u := m.Units.Get(cl)
 		if u <= 0 {
 			continue
 		}

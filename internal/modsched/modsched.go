@@ -25,6 +25,7 @@ import (
 	"ursa/internal/ir"
 	"ursa/internal/machine"
 	"ursa/internal/sched"
+	"ursa/internal/target"
 )
 
 // Options bound the II and blocking-factor search.
@@ -92,6 +93,14 @@ func Pipeline(f *ir.Func, m *machine.Config, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := m.Validate(); err != nil {
 		return nil, err
+	}
+	// The IMS reservation table and the MII bounds model per-class unit
+	// counts only: they know nothing of per-cluster register files,
+	// inter-cluster copies, or output-buffer retirement, so a kernel
+	// accepted here could be illegal on those targets.
+	if m.Clusters > 1 || m.BufferDepth > 0 {
+		return nil, fmt.Errorf("%w: loop pipelining on %s (IMS does not model clustered register files or output buffers)",
+			target.ErrUnsupported, m.Name)
 	}
 	out := f.Clone()
 	loops, err := Recognize(out)

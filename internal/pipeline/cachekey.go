@@ -68,12 +68,19 @@ func CacheKey(f *ir.Func, m *machine.Config, method Method, opts Options) string
 func hashMachine(h hash.Hash, wInt func(int64), wBool func(bool), m *machine.Config) {
 	wBool(m.Homogeneous)
 	wBool(m.Pipelined)
-	for _, u := range m.Units {
-		wInt(int64(u))
+	// Canonicalize through Get over the full class range, so a hand-built
+	// short (or nil) unit table keys identically to its padded equivalent.
+	for cl := machine.FUClass(0); cl < machine.NumFUClasses; cl++ {
+		wInt(int64(m.Units.Get(cl)))
 	}
 	for _, r := range m.Regs {
 		wInt(int64(r))
 	}
+	// Target-model knobs. CopyLatency needs no separate field: it is the
+	// latency table's ir.Copy entry.
+	wInt(int64(m.Clusters))
+	wInt(int64(m.BufferDepth))
+	wInt(int64(m.IssueWidth))
 	// The latency model is a function; canonicalize it as its full
 	// per-opcode table so any two models with equal tables share keys.
 	for op := 0; op < ir.NumOps; op++ {

@@ -17,6 +17,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"ursa/internal/assign"
@@ -29,6 +30,7 @@ import (
 	"ursa/internal/regalloc"
 	"ursa/internal/sched"
 	"ursa/internal/store"
+	"ursa/internal/target"
 	"ursa/internal/vliwsim"
 )
 
@@ -134,6 +136,11 @@ func Compile(b *ir.Block, m *machine.Config, method Method, opts Options) (*assi
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}
+	if err := target.Supports(method.String(), m); err != nil {
+		// target.ErrUnsupported, detectable via target.Unsupported: sweeps
+		// skip the method on this machine rather than failing the run.
+		return nil, nil, fmt.Errorf("pipeline: %w", err)
+	}
 	// Compile against a private clone of the containing function: spill
 	// transformations allocate fresh virtual registers in the function's
 	// tables, and cloning keeps the caller's function intact and makes
@@ -148,6 +155,15 @@ func Compile(b *ir.Block, m *machine.Config, method Method, opts Options) (*assi
 		// region's inputs must arrive through memory, not registers.
 		return nil, nil, fmt.Errorf("pipeline: block has register live-ins (%s); load inputs from memory",
 			b.Func.NameOf(ins[0]))
+	}
+	if m.Clusters > 1 {
+		// Partition the block's instructions over the clusters and insert
+		// explicit inter-cluster copies; from here on the copies are ordinary
+		// instructions, so URSA's reduction loop prices the transfer bus and
+		// the copies' destination registers like any other resource.
+		if _, err := target.Clusterize(b, m); err != nil {
+			return nil, nil, err
+		}
 	}
 	st := &Stats{Method: method, Machine: m.Name}
 	var prog *assign.Program
@@ -207,6 +223,16 @@ func Compile(b *ir.Block, m *machine.Config, method Method, opts Options) (*assi
 			RegClass: ir.ClassInt,
 		})
 		if err != nil {
+			if errors.Is(err, sched.ErrBuffer) {
+				// The worst-case buffer demand genuinely exceeds the
+				// exposed-datapath capacity; degrade to buffer-eviction
+				// emission like the URSA and prepass lanes do.
+				prog, err = assign.EmitWithBufferSpills(g, m)
+				if err != nil {
+					return nil, nil, err
+				}
+				break
+			}
 			return nil, nil, err
 		}
 		prog, err = assign.Registers(s, m)
@@ -290,6 +316,14 @@ func Evaluate(b *ir.Block, m *machine.Config, method Method, init *ir.State, opt
 	if err != nil {
 		return nil, fmt.Errorf("pipeline %s on %s: %w", method, m.Name, err)
 	}
+	if m.BufferDepth > 0 && prog.Spills == 0 {
+		// Cleanly emitted exposed-datapath code must respect the output
+		// buffers; assignment-phase spill patching packs with no buffer
+		// model, so only unpatched programs are audited.
+		if err := vliwsim.AuditBuffers(prog); err != nil {
+			return nil, fmt.Errorf("pipeline %s on %s: %w", method, m.Name, err)
+		}
+	}
 	st.Verified = true
 	st.Cycles = res.Cycles
 	st.Issued = res.Issued
@@ -298,12 +332,17 @@ func Evaluate(b *ir.Block, m *machine.Config, method Method, init *ir.State, opt
 }
 
 // EvaluateAll runs every pipeline on the block and returns their stats in
-// Methods order.
+// Methods order. Methods the machine's target family does not support
+// (e.g. postpass on clustered register files) are skipped, so the result
+// may be shorter than Methods.
 func EvaluateAll(b *ir.Block, m *machine.Config, init *ir.State, opts Options) ([]*Stats, error) {
 	var out []*Stats
 	for _, method := range Methods {
 		st, err := Evaluate(b, m, method, init, opts)
 		if err != nil {
+			if target.Unsupported(err) {
+				continue
+			}
 			return nil, err
 		}
 		out = append(out, st)

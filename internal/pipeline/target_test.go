@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ursa/internal/ir"
+	"ursa/internal/sched"
+	"ursa/internal/target"
+	"ursa/internal/vliwsim"
+	"ursa/internal/workload"
+)
+
+// TestTargetFamiliesEndToEnd compiles the paper's Figure 2 example on every
+// preset of the extended target families, through every supported method,
+// and verifies the emitted code on the simulator (which audits per-cluster
+// units, cluster-local register reads, and issue width inline) plus the
+// static buffer audit for exposed-datapath machines.
+func TestTargetFamiliesEndToEnd(t *testing.T) {
+	for _, p := range target.Presets() {
+		fam := target.FamilyOf(p.Config)
+		if fam == target.FamilyVLIW || fam == target.FamilyHetero {
+			continue // the pre-existing families, covered by the baseline tests
+		}
+		for _, method := range AllMethods {
+			t.Run(p.Name+"/"+method.String(), func(t *testing.T) {
+				f := workload.PaperExample(true)
+				b := f.Blocks[0]
+				prog, st, err := Compile(b, p.Config, method, Options{})
+				if err != nil {
+					if target.Unsupported(err) {
+						if method == Postpass || method == Exact {
+							t.Skipf("unsupported as designed: %v", err)
+						}
+						t.Fatalf("%s unexpectedly unsupported: %v", method, err)
+					}
+					if errors.Is(err, sched.ErrBuffer) {
+						// Every lane — assign.Emit callers and the direct
+						// sched.List integrated-list lane alike — falls
+						// back to buffer-eviction emission on deadlock, so
+						// ErrBuffer must never escape Compile.
+						t.Fatalf("%s lane leaked a buffer deadlock: %v", method, err)
+					}
+					t.Fatalf("Compile: %v", err)
+				}
+				if _, err := vliwsim.Verify(prog, b, &ir.State{}); err != nil {
+					t.Fatalf("Verify: %v\n%s", err, prog)
+				}
+				if p.Config.BufferDepth > 0 && prog.Spills == 0 {
+					if err := vliwsim.AuditBuffers(prog); err != nil {
+						t.Fatalf("AuditBuffers: %v\n%s", err, prog)
+					}
+				}
+				if fam == target.FamilyClustered {
+					seen := map[uint8]bool{}
+					copies := 0
+					for _, in := range prog.Instrs() {
+						seen[in.Cluster] = true
+						if in.IsCopy() {
+							copies++
+						}
+					}
+					if len(seen) < 2 {
+						t.Errorf("clustered compile used %d clusters", len(seen))
+					}
+					for _, in := range prog.Instrs() {
+						if in.Dst != ir.NoReg && int(in.Cluster) > 0 {
+							name := prog.Func.NameOf(in.Dst)
+							if !strings.HasPrefix(name, "c") {
+								t.Errorf("cluster %d instr writes uncl. register %s", in.Cluster, name)
+							}
+						}
+					}
+					t.Logf("%s/%s: %d words, %d copies, %d spills (ursa fits=%v, %d transforms)",
+						p.Name, method, st.Words, copies, st.SpillOps, st.URSAFits, st.URSATransforms)
+				} else {
+					t.Logf("%s/%s: %d words, %d spills", p.Name, method, st.Words, st.SpillOps)
+				}
+			})
+		}
+	}
+}

@@ -119,45 +119,66 @@ func KindFUs(k ir.Kind) func(*dag.Node) bool {
 // Values in g.LiveOut are killed at the leaf and hence never reusable.
 func Reg(g *dag.Graph, c ir.Class) *Reuse {
 	f := g.Func
+	return Values(g, c,
+		func(n *dag.Node) bool { return f.ClassOf(n.Instr.Dst) == c },
+		func(v ir.VReg) bool { return f.ClassOf(v) == c })
+}
+
+// Values builds the Reuse DAG for an arbitrary value-holding resource:
+// region-defined values selected by include (called only for nodes with a
+// destination) plus, when liveIn is non-nil, the used-but-region-undefined
+// registers liveIn selects, produced at the root. Reg is the register-class
+// instance; per-cluster register files (values defined on one cluster) and
+// exposed-datapath output buffers (non-live-out values of one producer FU
+// class, both register classes) are narrower or skew value sets over the
+// same worst-case kill-selection machinery — a buffer slot, like a
+// register, frees when the value's last (kill) reader issues, so
+// CanReuse_Reg's structure transfers unchanged. The class tag c labels the
+// structure for incremental updates; value sets spanning classes may pass
+// any class.
+func Values(g *dag.Graph, c ir.Class, include func(n *dag.Node) bool, liveIn func(v ir.VReg) bool) *Reuse {
 	r := &Reuse{Graph: g, IsReg: true, Class: c, byNode: make(map[int]int)}
 
-	// Region-defined values.
-	defItem := make(map[ir.VReg]int)
+	// Region-defined values. The defined set tracks every definition, not
+	// just the included ones: a region-defined value excluded by the filter
+	// must not come back as a live-in.
+	defined := make(map[ir.VReg]bool)
 	for _, n := range g.Nodes {
 		if n.Instr == nil || n.Instr.Dst == ir.NoReg {
 			continue
 		}
-		if f.ClassOf(n.Instr.Dst) != c {
+		defined[n.Instr.Dst] = true
+		if !include(n) {
 			continue
 		}
 		idx := len(r.Items)
 		r.Items = append(r.Items, Item{Node: n.ID, Reg: n.Instr.Dst})
-		defItem[n.Instr.Dst] = idx
 		if _, ok := r.byNode[n.ID]; !ok {
 			r.byNode[n.ID] = idx
 		}
 	}
 	// Live-in values: used but not defined in the region.
-	liveIn := make(map[ir.VReg]bool)
-	for _, n := range g.Nodes {
-		if n.Instr == nil {
-			continue
-		}
-		for _, u := range n.Instr.Uses() {
-			if _, defined := defItem[u]; !defined && f.ClassOf(u) == c {
-				liveIn[u] = true
+	liveInSet := make(map[ir.VReg]bool)
+	if liveIn != nil {
+		for _, n := range g.Nodes {
+			if n.Instr == nil {
+				continue
+			}
+			for _, u := range n.Instr.Uses() {
+				if !defined[u] && liveIn(u) {
+					liveInSet[u] = true
+				}
 			}
 		}
 	}
-	liveInRegs := make([]ir.VReg, 0, len(liveIn))
-	for v := range liveIn {
+	liveInRegs := make([]ir.VReg, 0, len(liveInSet))
+	for v := range liveInSet {
 		liveInRegs = append(liveInRegs, v)
 	}
 	sort.Slice(liveInRegs, func(i, j int) bool { return liveInRegs[i] < liveInRegs[j] })
 	for _, v := range liveInRegs {
 		idx := len(r.Items)
 		r.Items = append(r.Items, Item{Node: g.Root, Reg: v})
-		defItem[v] = idx
 		if _, ok := r.byNode[g.Root]; !ok {
 			r.byNode[g.Root] = idx
 		}

@@ -8,6 +8,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -21,8 +22,18 @@ type Placement struct {
 	Node  int
 	Cycle int
 	Class machine.FUClass
-	Unit  int // unit index within the class
+	// Unit is the unit index within the class, machine-wide: on clustered
+	// machines cluster k owns indices [k·U, (k+1)·U) of every class except
+	// the shared XFER bus.
+	Unit int
 }
+
+// ErrBuffer reports a buffered exposed-datapath deadlock: every ready
+// instruction needs an output-buffer slot and every slot is held by a value
+// whose last reader is not yet ready. This is the expected failure mode of
+// buffer-blind schedule orders (URSA's buf resources reduce the worst-case
+// buffer width below capacity first, so its schedules never see it).
+var ErrBuffer = errors.New("sched: output buffers deadlocked")
 
 // Schedule is a cycle-by-cycle assignment of DAG nodes to functional units.
 type Schedule struct {
@@ -106,10 +117,32 @@ func List(g *dag.Graph, m *machine.Config, opts Options) (*Schedule, error) {
 		}
 	}
 
-	// busyUntil[class][unit] = first free cycle.
+	// busyUntil[class][unit] = first free cycle, over machine-wide unit
+	// indices (clusters replicate their class units side by side).
 	busyUntil := make(map[machine.FUClass][]int)
 	for _, cl := range m.FUClasses() {
-		busyUntil[cl] = make([]int, m.Units[cl])
+		busyUntil[cl] = make([]int, m.TotalUnits(cl))
+	}
+
+	// Exposed-datapath buffer bookkeeping: each non-live-out value holds a
+	// slot of its producer's class from issue until its last reader issues
+	// (readers free at issue, so a producer may take the slot over in the
+	// same cycle only after the reader has been picked).
+	var bufLive []int
+	var bufUses map[ir.VReg]int // readers not yet issued
+	var bufClass map[ir.VReg]machine.FUClass
+	if m.BufferDepth > 0 {
+		bufLive = make([]int, machine.NumFUClasses)
+		bufUses = make(map[ir.VReg]int)
+		bufClass = make(map[ir.VReg]machine.FUClass)
+		for _, nd := range g.Nodes {
+			if nd.Instr == nil {
+				continue
+			}
+			for _, u := range nd.Instr.Uses() {
+				bufUses[u]++
+			}
+		}
 	}
 
 	// Register-sensitivity bookkeeping.
@@ -152,12 +185,20 @@ func List(g *dag.Graph, m *machine.Config, opts Options) (*Schedule, error) {
 		})
 
 		issuedAny := false
+		issuedThisCycle := 0
 		for _, nd := range cands {
+			if m.IssueWidth > 0 && issuedThisCycle >= m.IssueWidth {
+				break // fetch bound reached; the rest wait for the next cycle
+			}
 			in := g.Nodes[nd].Instr
 			cl := m.ClassFor(in.Kind())
-			unit := freeUnit(busyUntil[cl], cycle)
+			unit := freeUnitFor(busyUntil[cl], cycle, m, cl, in.Cluster)
 			if unit < 0 {
 				continue
+			}
+			if m.BufferDepth > 0 && in.Dst != ir.NoReg && !g.LiveOut[in.Dst] &&
+				bufLive[cl] >= m.BufferCap(cl) {
+				continue // producer's output buffers are full
 			}
 			if opts.RegLimit > 0 && g.Func.ClassOf(in.Dst) == opts.RegClass && in.Dst != ir.NoReg {
 				delta := regDelta(g, in, opts.RegClass, usesLeft)
@@ -173,13 +214,54 @@ func List(g *dag.Graph, m *machine.Config, opts Options) (*Schedule, error) {
 			})
 			scheduled++
 			issuedAny = true
+			issuedThisCycle++
 			if opts.RegLimit > 0 {
 				live += applyRegDelta(g, in, opts.RegClass, usesLeft)
+			}
+			if m.BufferDepth > 0 {
+				seen := map[ir.VReg]bool{}
+				for _, u := range in.Uses() {
+					if seen[u] {
+						continue
+					}
+					seen[u] = true
+					if bufUses[u]--; bufUses[u] == 0 {
+						if pcl, ok := bufClass[u]; ok {
+							bufLive[pcl]--
+						}
+					}
+				}
+				if in.Dst != ir.NoReg && !g.LiveOut[in.Dst] {
+					bufLive[cl]++
+					bufClass[in.Dst] = cl
+				}
 			}
 			removeReady(&ready, nd)
 			release(nd, cycle+lat)
 			if sched.Cycles < cycle+lat {
 				sched.Cycles = cycle + lat
+			}
+		}
+		if m.BufferDepth > 0 && !issuedAny && len(cands) > 0 {
+			// Candidates exist but none issued. If no unit is still
+			// executing and nothing becomes data-ready later, the state can
+			// never change: every candidate waits on a buffer slot held by
+			// a value whose last reader is itself blocked.
+			stuck := true
+			for _, busy := range busyUntil {
+				for _, until := range busy {
+					if until > cycle {
+						stuck = false
+					}
+				}
+			}
+			for _, nd := range ready {
+				if earliest[nd] > cycle {
+					stuck = false
+				}
+			}
+			if stuck {
+				return nil, fmt.Errorf("%w at cycle %d (%d/%d scheduled)", ErrBuffer, cycle, scheduled, total)
 			}
 		}
 		// Pseudo nodes (root handled above; leaf and any others) release
@@ -244,6 +326,28 @@ func freeUnit(busy []int, cycle int) int {
 		}
 	}
 	return -1
+}
+
+// freeUnitFor finds a free unit the instruction may legally use: on
+// clustered machines a non-XFER instruction only sees its own cluster's
+// slice of the class; the XFER bus (and every class on unclustered
+// machines) is searched whole.
+func freeUnitFor(busy []int, cycle int, m *machine.Config, cl machine.FUClass, cluster uint8) int {
+	if m.Clusters > 1 && cl != machine.XFER {
+		per := m.Units.Get(cl)
+		lo := int(cluster) * per
+		hi := lo + per
+		if hi > len(busy) {
+			return -1
+		}
+		for u := lo; u < hi; u++ {
+			if busy[u] <= cycle {
+				return u
+			}
+		}
+		return -1
+	}
+	return freeUnit(busy, cycle)
 }
 
 func removeReady(ready *[]int, node int) {
@@ -352,8 +456,27 @@ func (s *Schedule) Validate() error {
 			return fmt.Errorf("sched: unit %v.%d double-booked at cycle %d", p.Class, p.Unit, p.Cycle)
 		}
 		busy[k] = p.Cycle + m.OccupancyOf(g.Nodes[p.Node].Instr.Op)
-		if p.Unit >= m.Units[p.Class] {
+		if p.Unit >= m.TotalUnits(p.Class) {
 			return fmt.Errorf("sched: unit index %d out of range for class %v", p.Unit, p.Class)
+		}
+		if m.Clusters > 1 && p.Class != machine.XFER {
+			in := g.Nodes[p.Node].Instr
+			per := m.Units.Get(p.Class)
+			if per > 0 && p.Unit/per != int(in.Cluster) {
+				return fmt.Errorf("sched: %s (cluster %d) placed on cluster %d's unit %v.%d",
+					g.Nodes[p.Node].Name, in.Cluster, p.Unit/per, p.Class, p.Unit)
+			}
+		}
+	}
+	// Global issue width.
+	if m.IssueWidth > 0 {
+		perCycle := map[int]int{}
+		for _, p := range s.Placements {
+			perCycle[p.Cycle]++
+			if perCycle[p.Cycle] > m.IssueWidth {
+				return fmt.Errorf("sched: %d instructions issued at cycle %d exceed issue width %d",
+					perCycle[p.Cycle], p.Cycle, m.IssueWidth)
+			}
 		}
 	}
 	return nil

@@ -12,12 +12,18 @@ import (
 	"ursa/internal/workload"
 )
 
-// MachineSpec selects a target machine: a named preset, a homogeneous
-// width×regs pair, or an explicit heterogeneous configuration. An empty
-// spec means the default preset (vliw4x8). Latency is "unit" (default) or
-// "realistic" (multi-cycle loads, multiplies, FP).
+// MachineSpec selects a target machine: a named preset, a full inline
+// machine.Spec (the portable form covering every target family), a
+// homogeneous width×regs pair, or an explicit heterogeneous
+// configuration. An empty spec means the default preset (vliw4x8).
+// Latency is "unit" (default) or "realistic" (multi-cycle loads,
+// multiplies, FP); with an inline Spec the latency model belongs in the
+// spec itself.
 type MachineSpec struct {
 	Preset string `json:"preset,omitempty"`
+	// Spec is the full inline machine description; when present it wins
+	// over every other selector.
+	Spec *machine.Spec `json:"spec,omitempty"`
 	// Homogeneous: functional units and registers per file.
 	Width int `json:"width,omitempty"`
 	Regs  int `json:"regs,omitempty"`
@@ -38,6 +44,11 @@ type MachineSpec struct {
 func (ms *MachineSpec) resolve() (*machine.Config, error) {
 	var m *machine.Config
 	switch {
+	case ms.Spec != nil:
+		if ms.Latency != "" {
+			return nil, fmt.Errorf("latency belongs inside an inline machine spec")
+		}
+		return ms.Spec.Config()
 	case ms.Preset != "":
 		p := presetByName(ms.Preset)
 		if p == nil {
@@ -370,10 +381,15 @@ type ErrorResponse struct {
 type MachineJSON struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
+	Family      string `json:"family"`
 	Homogeneous bool   `json:"homogeneous"`
+	// Units is the machine-wide total across classes and clusters.
 	Units       int    `json:"units"`
 	IntRegs     int    `json:"int_regs"`
 	FPRegs      int    `json:"fp_regs"`
+	Clusters    int    `json:"clusters,omitempty"`
+	BufferDepth int    `json:"buffer_depth,omitempty"`
+	IssueWidth  int    `json:"issue_width,omitempty"`
 	Summary     string `json:"summary"`
 }
 

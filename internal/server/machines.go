@@ -2,62 +2,35 @@ package server
 
 import (
 	"ursa/internal/ir"
-	"ursa/internal/machine"
+	"ursa/internal/target"
 )
 
-// A Preset is a named machine configuration clients can select without
-// spelling out widths and register files. The set spans the paper's
-// evaluation range (§5): the Figure 2 machine, the homogeneous sweep
-// points, and the two heterogeneous configurations.
-type Preset struct {
-	Name        string
-	Description string
-	Config      *machine.Config
-}
-
-// presets lists the served machine configurations in presentation order.
-var presets = []Preset{
-	{"paper2x3", "the paper's Figure 2 machine: 2 FUs, 3 registers", machine.VLIW(2, 3)},
-	{"vliw1x4", "scalar baseline: 1 FU, 4 registers", machine.VLIW(1, 4)},
-	{"vliw2x4", "2 FUs, 4 registers", machine.VLIW(2, 4)},
-	{"vliw2x8", "2 FUs, 8 registers", machine.VLIW(2, 8)},
-	{"vliw4x6", "4 FUs, 6 registers", machine.VLIW(4, 6)},
-	{"vliw4x8", "default: 4 FUs, 8 registers", machine.VLIW(4, 8)},
-	{"vliw8x12", "wide: 8 FUs, 12 registers", machine.VLIW(8, 12)},
-	{"hetero-small", "2 IALU + 1 FALU + 1 MEM + 1 BR, 6 int / 4 fp registers",
-		machine.Heterogeneous(2, 1, 1, 1, 6, 4)},
-	{"hetero-big", "2 IALU + 2 FALU + 2 MEM + 1 BR, 8 int / 8 fp registers",
-		machine.Heterogeneous(2, 2, 2, 1, 8, 8)},
-}
+// The served machine catalog is the target package's preset catalog: the
+// paper's evaluation range plus the clustered, wide-superscalar, and
+// exposed-datapath families. The server adds no presets of its own, so
+// ursac -machine, the fuzzer's sampler, and /v1/machines always agree.
 
 // presetByName returns the named preset, or nil.
-func presetByName(name string) *Preset {
-	for i := range presets {
-		if presets[i].Name == name {
-			return &presets[i]
-		}
-	}
-	return nil
-}
+func presetByName(name string) *target.Preset { return target.ByName(name) }
 
 // machineJSON renders a preset for the /v1/machines listing.
-func machineJSON(p *Preset) MachineJSON {
+func machineJSON(p *target.Preset) MachineJSON {
 	m := p.Config
 	units := 0
-	if m.Homogeneous {
-		units = m.Units[machine.ANY]
-	} else {
-		for _, cl := range m.FUClasses() {
-			units += m.Units[cl]
-		}
+	for _, cl := range m.FUClasses() {
+		units += m.TotalUnits(cl)
 	}
 	return MachineJSON{
 		Name:        p.Name,
 		Description: p.Description,
+		Family:      string(target.FamilyOf(m)),
 		Homogeneous: m.Homogeneous,
 		Units:       units,
 		IntRegs:     m.Regs[ir.ClassInt],
 		FPRegs:      m.Regs[ir.ClassFP],
+		Clusters:    m.Clusters,
+		BufferDepth: m.BufferDepth,
+		IssueWidth:  m.IssueWidth,
 		Summary:     m.String(),
 	}
 }

@@ -47,6 +47,7 @@ import (
 	"ursa/internal/modsched"
 	"ursa/internal/pipeline"
 	"ursa/internal/store"
+	"ursa/internal/target"
 	"ursa/internal/workload"
 )
 
@@ -416,9 +417,10 @@ func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	out := make([]MachineJSON, len(presets))
-	for i := range presets {
-		out[i] = machineJSON(&presets[i])
+	catalog := target.Presets()
+	out := make([]MachineJSON, len(catalog))
+	for i := range catalog {
+		out[i] = machineJSON(&catalog[i])
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }

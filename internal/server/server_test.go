@@ -16,6 +16,7 @@ import (
 
 	"ursa/internal/machine"
 	"ursa/internal/pipeline"
+	"ursa/internal/target"
 	"ursa/internal/workload"
 )
 
@@ -381,11 +382,24 @@ func TestMachinesAndHealth(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	var ms []MachineJSON
 	code, _ := getJSON(t, ts.URL+"/v1/machines", &ms)
-	if code != http.StatusOK || len(ms) != len(presets) {
-		t.Fatalf("machines: code=%d n=%d want %d", code, len(ms), len(presets))
+	if code != http.StatusOK || len(ms) != len(target.Presets()) {
+		t.Fatalf("machines: code=%d n=%d want %d", code, len(ms), len(target.Presets()))
 	}
 	if ms[0].Name != "paper2x3" || !ms[0].Homogeneous || ms[0].Units != 2 || ms[0].IntRegs != 3 {
 		t.Errorf("paper2x3 rendered wrong: %+v", ms[0])
+	}
+	byName := map[string]MachineJSON{}
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	if m := byName["clus2x2x4"]; m.Family != string(target.FamilyClustered) || m.Clusters != 2 || m.Units != 5 {
+		t.Errorf("clus2x2x4 rendered wrong: %+v", m) // 2×2 ALUs + 1 xfer bus
+	}
+	if m := byName["edp2x6b1"]; m.Family != string(target.FamilyEDP) || m.BufferDepth != 1 {
+		t.Errorf("edp2x6b1 rendered wrong: %+v", m)
+	}
+	if m := byName["suprax12"]; m.Family != string(target.FamilySuperscalar) || m.IssueWidth != 12 {
+		t.Errorf("suprax12 rendered wrong: %+v", m)
 	}
 	var h HealthJSON
 	code, _ = getJSON(t, ts.URL+"/healthz", &h)

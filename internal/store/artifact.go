@@ -12,7 +12,11 @@ import (
 // an artifact captures could change for equal inputs (e.g. an allocator
 // tie-break change), so stale artifacts become unreachable rather than
 // wrong.
-const SchemaVersion = 1
+//
+// Version 2: the opcode space grew an inter-cluster copy (ir.Copy), so the
+// latency table hashed into every key changed length, and machine hashing
+// gained the clustered/buffered/issue-width target fields.
+const SchemaVersion = 2
 
 // Artifact is one cached compile result: the per-block listings exactly
 // as the pipeline emitted them, plus the static statistics — everything

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -272,7 +273,7 @@ func TestArtifactSchemaInvalidation(t *testing.T) {
 		t.Fatalf("round trip lost data: %+v", got)
 	}
 	// An artifact written by a different schema version must be refused.
-	stale := bytes.Replace(data, []byte(`"schema":1`), []byte(`"schema":999`), 1)
+	stale := bytes.Replace(data, []byte(fmt.Sprintf(`"schema":%d`, SchemaVersion)), []byte(`"schema":999`), 1)
 	if bytes.Equal(stale, data) {
 		t.Fatal("test assumption broken: schema field not found in encoding")
 	}

@@ -1,0 +1,83 @@
+package target_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"ursa/internal/machine"
+	"ursa/internal/pipeline"
+	"ursa/internal/workload"
+)
+
+// baselineMachines are the classic (pre-target-subsystem) configurations
+// whose emitted code is frozen in testdata/preset_baseline.txt. The file
+// was captured before the target catalog landed; this test proves the
+// subsystem is purely additive — every legacy machine still compiles to
+// byte-identical words under every method.
+func baselineMachines() []*machine.Config {
+	return []*machine.Config{
+		machine.VLIW(2, 3), machine.VLIW(1, 4), machine.VLIW(2, 4), machine.VLIW(2, 8),
+		machine.VLIW(4, 6), machine.VLIW(4, 8), machine.VLIW(8, 12),
+		machine.Heterogeneous(2, 1, 1, 1, 6, 4), machine.Heterogeneous(2, 2, 2, 1, 8, 8),
+	}
+}
+
+// renderBaseline compiles the Figure 2 example on every baseline machine ×
+// method and renders the exact listing format of the committed snapshot.
+func renderBaseline() string {
+	f := workload.PaperExample(true)
+	var sb strings.Builder
+	for _, m := range baselineMachines() {
+		for _, meth := range pipeline.AllMethods {
+			fp, st, err := pipeline.CompileFunc(f, m, meth, pipeline.Options{})
+			if err != nil {
+				fmt.Fprintf(&sb, "== %s %s ERR %v\n", m.Name, meth, err)
+				continue
+			}
+			fmt.Fprintf(&sb, "== %s %s words=%d spills=%d\n", m.Name, meth, st.Words, st.SpillOps)
+			for _, bp := range fp.Blocks {
+				for ci, w := range bp.Words {
+					fmt.Fprintf(&sb, "  [%d]", ci)
+					for _, in := range w {
+						sb.WriteString(" {" + bp.Func.InstrString(in) + "}")
+					}
+					sb.WriteString("\n")
+				}
+			}
+		}
+	}
+	return sb.String()
+}
+
+// TestPresetBaselineUnchanged byte-compares today's output against the
+// frozen snapshot. Regenerate intentionally with
+//
+//	URSA_UPDATE_BASELINE=1 go test ./internal/target -run TestPresetBaselineUnchanged
+func TestPresetBaselineUnchanged(t *testing.T) {
+	const path = "testdata/preset_baseline.txt"
+	got := renderBaseline()
+	if os.Getenv("URSA_UPDATE_BASELINE") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		// Point at the first diverging line so a regression is actionable
+		// without diffing 14 KB by hand.
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("line %d diverges from %s:\n  frozen: %s\n  now:    %s", i+1, path, wl[i], gl[i])
+			}
+		}
+		t.Fatalf("output length diverges from %s: %d vs %d lines", path, len(gl), len(wl))
+	}
+}

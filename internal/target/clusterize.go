@@ -1,0 +1,163 @@
+package target
+
+import (
+	"fmt"
+
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+)
+
+// Clusterize partitions a straight-line SSA block over the machine's
+// clusters and inserts explicit inter-cluster copies, mutating the block in
+// place. After it returns, every instruction's operands are defined in the
+// instruction's own cluster — except the copies themselves, which read
+// across clusters on the transfer bus. It returns the number of copies
+// inserted.
+//
+// The partition is a deterministic greedy walk in program order (which is
+// topological, by SSA): each instruction lands on the cluster where most of
+// its operands already live, with instruction-count load as the
+// tie-breaker, so chains stay local and independent chains spread out.
+// The copies the partition implies are the clustered machine's real cost,
+// and downstream the reduction loop may trade any of them for a spill
+// (transform.CopySpill) when the bus is the scarcer resource.
+func Clusterize(b *ir.Block, m *machine.Config) (int, error) {
+	k := m.NumClusters()
+	if k <= 1 {
+		return 0, nil
+	}
+	if k > 255 {
+		return 0, fmt.Errorf("target: cluster count %d exceeds the 255 encodable clusters", k)
+	}
+	if ins := ir.LiveIns(b); len(ins) > 0 {
+		return 0, fmt.Errorf("target: cannot clusterize a block with register live-ins (%s)",
+			b.Func.NameOf(ins[0]))
+	}
+	f := b.Func
+
+	defCluster := make(map[ir.VReg]uint8)
+	load := make([]int, k)
+
+	place := func(in *ir.Instr) uint8 {
+		if in.IsBranch() {
+			// Branches go where their (sole) operand lives; the block
+			// terminator has no locality of its own.
+			if len(in.Args) > 0 {
+				if c, ok := defCluster[in.Args[0]]; ok {
+					return c
+				}
+			}
+			return 0
+		}
+		best, bestScore := 0, -1<<30
+		for c := 0; c < k; c++ {
+			resident := 0
+			for _, u := range in.Uses() {
+				if dc, ok := defCluster[u]; ok && int(dc) == c {
+					resident++
+				}
+			}
+			// A resident operand saves a copy (a bus slot plus a register
+			// in the destination file), worth several instructions of
+			// imbalance.
+			score := 4*resident - load[c]
+			if score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+		return uint8(best)
+	}
+
+	// copied maps (value, cluster) to the register holding the value's copy
+	// in that cluster, so each value crosses to a given cluster at most
+	// once no matter how many consumers it has there.
+	type vc struct {
+		v ir.VReg
+		c uint8
+	}
+	copied := make(map[vc]ir.VReg)
+
+	out := make([]*ir.Instr, 0, len(b.Instrs))
+	copies := 0
+	for _, in := range b.Instrs {
+		c := place(in)
+		in.Cluster = c
+		// Rewire cross-cluster operands through copies, materializing each
+		// needed copy right before its first consumer.
+		rewire := func(v ir.VReg) ir.VReg {
+			dc, ok := defCluster[v]
+			if !ok || dc == c {
+				return v
+			}
+			key := vc{v, c}
+			if cp, ok := copied[key]; ok {
+				return cp
+			}
+			cp := f.NewReg(fmt.Sprintf("x.%s.c%d", f.NameOf(v), c), f.ClassOf(v))
+			out = append(out, &ir.Instr{
+				Op:      ir.Copy,
+				Dst:     cp,
+				Args:    []ir.VReg{v},
+				Cluster: c,
+			})
+			copied[key] = cp
+			defCluster[cp] = c
+			copies++
+			return cp
+		}
+		for i, a := range in.Args {
+			in.Args[i] = rewire(a)
+		}
+		if in.Index != ir.NoReg {
+			in.Index = rewire(in.Index)
+		}
+		if in.Dst != ir.NoReg {
+			defCluster[in.Dst] = c
+		}
+		if !in.IsBranch() {
+			load[c]++
+		}
+		out = append(out, in)
+	}
+	b.Instrs = out
+	b.Renumber()
+	return copies, nil
+}
+
+// VerifyClusters checks the post-Clusterize invariant on a block: every
+// non-copy instruction reads only values defined in its own cluster, every
+// copy reads a value from a different cluster, and cluster ids are in
+// range. Values never defined in the block (live-ins) are exempt.
+func VerifyClusters(b *ir.Block, m *machine.Config) error {
+	k := m.NumClusters()
+	defCluster := make(map[ir.VReg]uint8)
+	for _, in := range b.Instrs {
+		if in.Dst != ir.NoReg {
+			defCluster[in.Dst] = in.Cluster
+		}
+	}
+	f := b.Func
+	for _, in := range b.Instrs {
+		if int(in.Cluster) >= k {
+			return fmt.Errorf("target: %s: cluster %d out of range [0,%d)", f.InstrString(in), in.Cluster, k)
+		}
+		for _, u := range in.Uses() {
+			dc, ok := defCluster[u]
+			if !ok {
+				continue
+			}
+			if in.IsCopy() {
+				if dc == in.Cluster {
+					return fmt.Errorf("target: %s: intra-cluster copy (value %s already in cluster %d)",
+						f.InstrString(in), f.NameOf(u), dc)
+				}
+				continue
+			}
+			if dc != in.Cluster {
+				return fmt.Errorf("target: %s (cluster %d): reads %s from cluster %d without a copy",
+					f.InstrString(in), in.Cluster, f.NameOf(u), dc)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Package target composes the machine models of internal/machine into the
+// concrete target families the toolchain serves, and holds the code that
+// adapts a program region to a family before the generic pipelines run.
+//
+// Three families extend the paper's homogeneous/heterogeneous VLIW:
+//
+//   - Clustered VLIW: identical clusters with private register files joined
+//     by a transfer bus. Clusterize partitions a block over the clusters
+//     and inserts explicit inter-cluster copies; the copies then compete
+//     for the bus (an FU resource) and for destination registers inside
+//     URSA's reduction loop, so the copy-vs-spill tradeoff is priced by
+//     the same unified mechanism as everything else.
+//   - Wide superscalar: a heterogeneous unit mix behind a global issue
+//     width (fetch bound), pipelined, with realistic latencies.
+//   - Buffered exposed datapath: functional-unit output buffers as a
+//     bounded resource class; values must reach their last consumer before
+//     the producer's buffer slot is reused.
+//
+// Every family registers presets into the catalog served by /v1/machines
+// and sampled by the fuzzer.
+package target
+
+import (
+	"errors"
+	"fmt"
+
+	"ursa/internal/machine"
+)
+
+// Family classifies a machine configuration into a target family.
+type Family string
+
+// Target families.
+const (
+	FamilyVLIW        Family = "vliw"        // the paper's homogeneous model
+	FamilyHetero      Family = "hetero"      // per-class functional units
+	FamilyClustered   Family = "clustered"   // clustered register files + copy bus
+	FamilySuperscalar Family = "superscalar" // global issue width
+	FamilyEDP         Family = "edp"         // buffered exposed datapath
+)
+
+// FamilyOf returns the family of a configuration. The models that change
+// program shape or legality (clusters, buffers) dominate the ones that only
+// change scheduling (issue width, heterogeneity).
+func FamilyOf(m *machine.Config) Family {
+	switch {
+	case m.Clusters > 1:
+		return FamilyClustered
+	case m.BufferDepth > 0:
+		return FamilyEDP
+	case m.IssueWidth > 0:
+		return FamilySuperscalar
+	case m.Homogeneous:
+		return FamilyVLIW
+	}
+	return FamilyHetero
+}
+
+// ErrUnsupported marks a (method, target) combination the toolchain
+// declines rather than miscompiles. Like exact's solver refusals it is an
+// expected outcome, not a bug: oracles and sweeps skip, servers report it
+// as a client error.
+var ErrUnsupported = errors.New("target: method unsupported on this machine")
+
+// Unsupported reports whether err is a method/target refusal.
+func Unsupported(err error) bool { return errors.Is(err, ErrUnsupported) }
+
+// Supports checks whether the named pipeline method can compile for the
+// machine. Method names follow pipeline.Method.String (the string form
+// avoids an import cycle: the pipeline package consults this table).
+//
+// Clustered and exposed-datapath targets need the resource-aware lanes:
+// the postpass pipeline colors registers before scheduling with no notion
+// of clusters or buffers, and the exact solver's state encoding covers
+// units and latencies only. Both refuse rather than emit illegal code.
+func Supports(method string, m *machine.Config) error {
+	fam := FamilyOf(m)
+	refuse := func(why string) error {
+		return fmt.Errorf("%w: %s on %s (%s)", ErrUnsupported, method, m.Name, why)
+	}
+	switch fam {
+	case FamilyClustered:
+		switch method {
+		case "postpass":
+			return refuse("graph-coloring allocation is cluster-blind")
+		case "exact":
+			return refuse("solver state does not encode per-cluster register files")
+		}
+	case FamilyEDP:
+		switch method {
+		case "postpass":
+			return refuse("pre-colored scheduling graph loses value identity for buffer tracking")
+		case "exact":
+			return refuse("solver state does not encode output buffers")
+		}
+	}
+	return nil
+}
+
+// A Preset is a named machine configuration clients can select without
+// spelling out widths and register files. The set spans the paper's
+// evaluation range (§5) plus one preset group per extended target family.
+type Preset struct {
+	Name        string
+	Description string
+	Config      *machine.Config
+}
+
+// Presets lists the catalog in presentation order: the paper's machines
+// first, then the extended families.
+func Presets() []Preset { return catalog }
+
+// ByName returns the named preset, or nil.
+func ByName(name string) *Preset {
+	for i := range catalog {
+		if catalog[i].Name == name {
+			return &catalog[i]
+		}
+	}
+	return nil
+}
+
+var catalog = []Preset{
+	{"paper2x3", "the paper's Figure 2 machine: 2 FUs, 3 registers", machine.VLIW(2, 3)},
+	{"vliw1x4", "scalar baseline: 1 FU, 4 registers", machine.VLIW(1, 4)},
+	{"vliw2x4", "2 FUs, 4 registers", machine.VLIW(2, 4)},
+	{"vliw2x8", "2 FUs, 8 registers", machine.VLIW(2, 8)},
+	{"vliw4x6", "4 FUs, 6 registers", machine.VLIW(4, 6)},
+	{"vliw4x8", "default: 4 FUs, 8 registers", machine.VLIW(4, 8)},
+	{"vliw8x12", "wide: 8 FUs, 12 registers", machine.VLIW(8, 12)},
+	{"hetero-small", "2 IALU + 1 FALU + 1 MEM + 1 BR, 6 int / 4 fp registers",
+		machine.Heterogeneous(2, 1, 1, 1, 6, 4)},
+	{"hetero-big", "2 IALU + 2 FALU + 2 MEM + 1 BR, 8 int / 8 fp registers",
+		machine.Heterogeneous(2, 2, 2, 1, 8, 8)},
+	{"clus2x2x4", "2 clusters of 2 FUs and 4 registers, 1 copy bus",
+		machine.Clustered(2, 2, 4, 1)},
+	{"clus2x4x6", "2 clusters of 4 FUs and 6 registers, 2 copy buses",
+		machine.Clustered(2, 4, 6, 2)},
+	{"clus4x2x4", "4 clusters of 2 FUs and 4 registers, 2 copy buses",
+		machine.Clustered(4, 2, 4, 2)},
+	{"suprax12", "12-wide superscalar: 6 IALU + 2 FALU + 3 MEM + 1 BR, pipelined, realistic latencies",
+		suprax12()},
+	{"edp2x6b1", "exposed datapath: 2 FUs with single-entry output buffers, 6 registers",
+		machine.ExposedDatapath(2, 6, 1)},
+	{"edp4x8b2", "exposed datapath: 4 FUs with 2-entry output buffers, 8 registers",
+		machine.ExposedDatapath(4, 8, 2)},
+}
+
+// suprax12 builds the wide-superscalar preset: a heterogeneous unit mix
+// behind a 12-instruction fetch bound, fully pipelined, with multi-cycle
+// latencies — the dynamic-issue end of the design space the paper's §6
+// points toward.
+func suprax12() *machine.Config {
+	m := machine.Heterogeneous(6, 2, 3, 1, 16, 16)
+	m.Name = "suprax12"
+	m.IssueWidth = 12
+	m.Pipelined = true
+	m.Latency = machine.RealisticLatency
+	return m
+}

@@ -1,0 +1,162 @@
+package target
+
+import (
+	"testing"
+
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+	"ursa/internal/workload"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Presets() {
+		if seen[p.Name] {
+			t.Errorf("duplicate preset %q", p.Name)
+		}
+		seen[p.Name] = true
+		if err := p.Config.Validate(); err != nil {
+			t.Errorf("preset %s: %v", p.Name, err)
+		}
+		if ByName(p.Name) == nil {
+			t.Errorf("ByName(%q) = nil", p.Name)
+		}
+	}
+	if ByName("no-such-machine") != nil {
+		t.Error("ByName of an unknown preset must be nil")
+	}
+	// One preset per extended family must exist.
+	want := map[Family]bool{FamilyClustered: false, FamilySuperscalar: false, FamilyEDP: false}
+	for _, p := range Presets() {
+		want[FamilyOf(p.Config)] = true
+	}
+	for fam, ok := range want {
+		if !ok {
+			t.Errorf("no preset in family %s", fam)
+		}
+	}
+}
+
+func TestFamilyOf(t *testing.T) {
+	cases := []struct {
+		m    *machine.Config
+		want Family
+	}{
+		{machine.VLIW(4, 8), FamilyVLIW},
+		{machine.Heterogeneous(2, 1, 1, 1, 8, 8), FamilyHetero},
+		{machine.Clustered(2, 2, 4, 1), FamilyClustered},
+		{machine.ExposedDatapath(4, 8, 2), FamilyEDP},
+		{suprax12(), FamilySuperscalar},
+	}
+	for _, c := range cases {
+		if got := FamilyOf(c.m); got != c.want {
+			t.Errorf("FamilyOf(%s) = %s, want %s", c.m.Name, got, c.want)
+		}
+	}
+}
+
+func TestSupports(t *testing.T) {
+	clustered := machine.Clustered(2, 2, 4, 1)
+	edp := machine.ExposedDatapath(4, 8, 2)
+	for _, method := range []string{"ursa", "prepass", "integrated-list"} {
+		if err := Supports(method, clustered); err != nil {
+			t.Errorf("Supports(%s, clustered) = %v", method, err)
+		}
+		if err := Supports(method, edp); err != nil {
+			t.Errorf("Supports(%s, edp) = %v", method, err)
+		}
+	}
+	for _, method := range []string{"postpass", "exact"} {
+		err := Supports(method, clustered)
+		if !Unsupported(err) {
+			t.Errorf("Supports(%s, clustered) = %v, want ErrUnsupported", method, err)
+		}
+		if err = Supports(method, edp); !Unsupported(err) {
+			t.Errorf("Supports(%s, edp) = %v, want ErrUnsupported", method, err)
+		}
+	}
+	for _, method := range []string{"ursa", "prepass", "postpass", "integrated-list", "exact"} {
+		if err := Supports(method, machine.VLIW(4, 8)); err != nil {
+			t.Errorf("Supports(%s, vliw) = %v", method, err)
+		}
+		if err := Supports(method, suprax12()); err != nil {
+			t.Errorf("Supports(%s, superscalar) = %v", method, err)
+		}
+	}
+}
+
+func TestClusterizePaperExample(t *testing.T) {
+	for _, preset := range []string{"clus2x2x4", "clus2x4x6", "clus4x2x4"} {
+		m := ByName(preset).Config
+		f := workload.PaperExample(true)
+		b := f.Blocks[0]
+		n := len(b.Instrs)
+		copies, err := Clusterize(b, m)
+		if err != nil {
+			t.Fatalf("%s: Clusterize: %v", preset, err)
+		}
+		if len(b.Instrs) != n+copies {
+			t.Errorf("%s: %d instrs + %d copies != %d", preset, n, copies, len(b.Instrs))
+		}
+		if err := ir.Verify(f); err != nil {
+			t.Errorf("%s: Verify after Clusterize: %v", preset, err)
+		}
+		if err := ir.VerifySSA(b); err != nil {
+			t.Errorf("%s: VerifySSA after Clusterize: %v", preset, err)
+		}
+		if err := VerifyClusters(b, m); err != nil {
+			t.Errorf("%s: %v", preset, err)
+		}
+		// The partition must actually use more than one cluster on a
+		// block of this size.
+		used := map[uint8]bool{}
+		for _, in := range b.Instrs {
+			used[in.Cluster] = true
+		}
+		if len(used) < 2 {
+			t.Errorf("%s: partition used %d clusters", preset, len(used))
+		}
+	}
+}
+
+func TestClusterizeNoopUnclustered(t *testing.T) {
+	f := workload.PaperExample(true)
+	b := f.Blocks[0]
+	n := len(b.Instrs)
+	copies, err := Clusterize(b, machine.VLIW(4, 8))
+	if err != nil || copies != 0 || len(b.Instrs) != n {
+		t.Fatalf("Clusterize on unclustered machine: copies=%d err=%v", copies, err)
+	}
+}
+
+func TestClusterizeCopyReuse(t *testing.T) {
+	// One producer, many consumers forced far apart: each consumer cluster
+	// receives at most one copy of the value.
+	f := ir.NewFunc("fanout")
+	b := f.NewBlock("entry")
+	v := f.NewReg("v", ir.ClassInt)
+	b.Append(&ir.Instr{Op: ir.ConstI, Dst: v, Imm: 7})
+	var last ir.VReg
+	for i := 0; i < 12; i++ {
+		d := f.NewReg("", ir.ClassInt)
+		b.Append(&ir.Instr{Op: ir.AddI, Dst: d, Args: []ir.VReg{v}, Imm: int64(i)})
+		last = d
+	}
+	b.Append(&ir.Instr{Op: ir.Store, Sym: "out", Args: []ir.VReg{last}})
+	m := machine.Clustered(4, 2, 4, 2)
+	if _, err := Clusterize(b, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyClusters(b, m); err != nil {
+		t.Fatal(err)
+	}
+	vCopies := 0
+	for _, in := range b.Instrs {
+		if in.IsCopy() && in.Args[0] == v {
+			vCopies++
+		}
+	}
+	if vCopies >= m.NumClusters() {
+		t.Errorf("%d copies of one value for %d clusters; copies must be reused", vCopies, m.NumClusters())
+	}
+}

@@ -457,6 +457,42 @@ func RegSeqCandidates(g *dag.Graph, res *measure.Result, set *measure.ExcessSet)
 	return cands
 }
 
+// CopySpillCandidates generates copy-spill candidates for clustered
+// machines: every inter-cluster copy appearing in the excess set — as a
+// transfer-bus instruction (XFER functional-unit items) or through the
+// destination register it defines (register items whose producer is a copy)
+// — can be rerouted through memory, trading the bus slot and the
+// destination register's bus-to-kill lifetime for a spill store/load pair.
+// The reduction loop prices both forms with the same measurements, so
+// whichever resource binds decides copy versus spill.
+func CopySpillCandidates(g *dag.Graph, res *measure.Result, set *measure.ExcessSet) []*Candidate {
+	const maxCandidates = 8
+	seen := make(map[int]bool)
+	var cands []*Candidate
+	for _, c := range set.Chains {
+		for _, itIdx := range c {
+			n := res.R.Items[itIdx].Node
+			if n == g.Root || seen[n] {
+				continue
+			}
+			in := g.Nodes[n].Instr
+			if in == nil || !in.IsCopy() {
+				continue
+			}
+			seen[n] = true
+			cands = append(cands, &Candidate{
+				Kind:      CopySpill,
+				CopySpill: &CopySpillSpec{Copy: n},
+				Note:      "copy-spill " + g.Func.NameOf(in.Dst),
+			})
+			if len(cands) >= maxCandidates {
+				return cands
+			}
+		}
+	}
+	return cands
+}
+
 // SpillCandidates generates spill-insertion candidates (§4.3): for each
 // excess chain, spill its head value right after definition and reload it
 // once the other chains (SD1) have finished. Unlike sequencing, the relaxed

@@ -28,6 +28,8 @@ const (
 	FUSequence  Kind = iota // §4.1: sequence independent instructions
 	RegSequence             // §4.2: stage the hammock to shorten live ranges
 	Spill                   // §4.3: store a value, reload when pressure drops
+	CopySpill               // clustered VLIW: reroute an inter-cluster copy through memory
+	NumKinds
 )
 
 // String returns the kind's name.
@@ -39,16 +41,19 @@ func (k Kind) String() string {
 		return "reg-seq"
 	case Spill:
 		return "spill"
+	case CopySpill:
+		return "copy-spill"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
 // A Candidate is one concrete applicable transformation.
 type Candidate struct {
-	Kind  Kind
-	Edges [][2]int   // sequentialization edges to add (from, to)
-	Spill *SpillSpec // spill payload, for Kind == Spill
-	Note  string     // human-readable description for traces
+	Kind      Kind
+	Edges     [][2]int       // sequentialization edges to add (from, to)
+	Spill     *SpillSpec     // spill payload, for Kind == Spill
+	CopySpill *CopySpillSpec // copy-spill payload, for Kind == CopySpill
+	Note      string         // human-readable description for traces
 }
 
 // SpillSpec describes a spill-insertion transformation: the value defined at
@@ -61,6 +66,18 @@ type SpillSpec struct {
 	Def      int
 	Barrier  []int
 	PreRoots []int
+}
+
+// CopySpillSpec describes a copy-spill transformation (clustered machines):
+// the inter-cluster copy at node Copy is rerouted through memory — a spill
+// store of the source value on the producing cluster plus a reload into the
+// copy's destination register on the consuming cluster — freeing the
+// transfer-bus slot the copy occupied. Because URSA measures the bus, the
+// per-cluster issue slots, and the destination register file through the
+// same reduction loop, the copy-vs-spill decision falls out of measured
+// excess rather than a fixed heuristic.
+type CopySpillSpec struct {
+	Copy int // node id of the inter-cluster copy
 }
 
 // String renders the candidate for traces.
@@ -89,6 +106,11 @@ func (c *Candidate) Apply(g *dag.Graph) error {
 	}
 	if c.Spill != nil {
 		if err := applySpill(g, c.Spill, nil); err != nil {
+			return err
+		}
+	}
+	if c.CopySpill != nil {
+		if err := applyCopySpill(g, c.CopySpill); err != nil {
 			return err
 		}
 	}
@@ -171,6 +193,12 @@ func (u *UndoLog) reset(g *dag.Graph) {
 // is back in its prior state. On success the caller scores the transformed
 // graph and then calls log.Revert.
 func (c *Candidate) ApplyLog(g *dag.Graph, log *UndoLog) error {
+	if c.CopySpill != nil {
+		// Copy-spill rewrites an instruction's opcode in place, which the
+		// undo log cannot restore; clustered reductions run the full-clone
+		// evaluation path, so this is never reached in normal operation.
+		return fmt.Errorf("transform %s: copy-spill candidates have no undo; evaluate on a clone", c.Kind)
+	}
 	log.reset(g)
 	for _, e := range c.Edges {
 		if g.HasEdge(e[0], e[1]) {
@@ -193,9 +221,10 @@ func (c *Candidate) ApplyLog(g *dag.Graph, log *UndoLog) error {
 }
 
 // SeqOnly reports whether the candidate is a pure sequentialization — it
-// only adds sequence edges, with no spill payload. Only such candidates can
-// be applied tentatively with ApplyUndo and remeasured incrementally.
-func (c *Candidate) SeqOnly() bool { return c.Spill == nil }
+// only adds sequence edges, with no spill or copy-spill payload. Only such
+// candidates can be applied tentatively with ApplyUndo and remeasured
+// incrementally.
+func (c *Candidate) SeqOnly() bool { return c.Spill == nil && c.CopySpill == nil }
 
 // ApplyUndo tentatively applies a sequencing-only candidate: it adds the
 // candidate's edges (skipping ones already present), returning the edges
@@ -206,7 +235,7 @@ func (c *Candidate) SeqOnly() bool { return c.Spill == nil }
 // insertion creates nodes and rewrites instructions in place, which has no
 // cheap inverse; tentative spills are evaluated on clones instead.
 func (c *Candidate) ApplyUndo(g *dag.Graph) (added [][2]int, undo func(), err error) {
-	if c.Spill != nil {
+	if !c.SeqOnly() {
 		return nil, nil, fmt.Errorf("transform %s: spill candidates cannot be undone", c.Kind)
 	}
 	revert := func() {
@@ -283,6 +312,10 @@ func (c *Candidate) AppendKey(dst []byte) []byte {
 		dst = appendSortedInts(dst, sp.Barrier)
 		dst = appendSortedInts(dst, sp.PreRoots)
 	}
+	if sp := c.CopySpill; sp != nil {
+		dst = append(dst, 2)
+		dst = binary.AppendUvarint(dst, uint64(sp.Copy))
+	}
 	return dst
 }
 
@@ -333,10 +366,12 @@ func applySpill(g *dag.Graph, sp *SpillSpec, log *UndoLog) error {
 		return fmt.Errorf("transform spill: %s has no uses", name)
 	}
 
-	// Insert the store and load nodes.
-	st := g.AddInstr(&ir.Instr{Op: ir.SpillStore, Args: []ir.VReg{sp.Reg}, Sym: slot})
+	// Insert the store and load nodes, on the value's home cluster: the
+	// store must read the value where it lives, and the reload re-produces
+	// it there so surviving same-cluster readers stay legal.
+	st := g.AddInstr(&ir.Instr{Op: ir.SpillStore, Args: []ir.VReg{sp.Reg}, Sym: slot, Cluster: defNode.Instr.Cluster})
 	nv := f.NewReg(name+".r", class)
-	ld := g.AddInstr(&ir.Instr{Op: ir.SpillLoad, Dst: nv, Sym: slot})
+	ld := g.AddInstr(&ir.Instr{Op: ir.SpillLoad, Dst: nv, Sym: slot, Cluster: defNode.Instr.Cluster})
 	addEdge(sp.Def, st, dag.EdgeData)
 	addEdge(st, ld, dag.EdgeMem)
 
@@ -401,6 +436,47 @@ func applySpill(g *dag.Graph, sp *SpillSpec, log *UndoLog) error {
 	// Keep the hammock property for the new nodes.
 	if len(g.Succs(ld)) == 0 {
 		addEdge(ld, g.Leaf, dag.EdgeSeq)
+	}
+	return nil
+}
+
+// applyCopySpill reroutes an inter-cluster copy through memory: a spill
+// store of the source value is inserted on the producing cluster, and the
+// copy instruction itself is rewritten in place into the reload — same
+// destination register, same cluster, so every consumer edge survives
+// untouched. The one data edge from the source's definition to the copy is
+// replaced by def -> store -> load wiring. There is no log variant: the
+// opcode rewrite has no cheap inverse, so tentative copy-spills are always
+// evaluated on clones.
+func applyCopySpill(g *dag.Graph, sp *CopySpillSpec) error {
+	if sp.Copy < 0 || sp.Copy >= g.NumNodes() {
+		return fmt.Errorf("transform copy-spill: node %d out of range", sp.Copy)
+	}
+	in := g.Nodes[sp.Copy].Instr
+	if in == nil || !in.IsCopy() {
+		return fmt.Errorf("transform copy-spill: node %d is not an inter-cluster copy", sp.Copy)
+	}
+	f := g.Func
+	src := in.Args[0]
+	def := g.DefNode(src)
+	if def < 0 {
+		return fmt.Errorf("transform copy-spill: copy source %s is not defined in the region", f.NameOf(src))
+	}
+	slot := "spill." + f.NameOf(src)
+	srcCluster := g.Nodes[def].Instr.Cluster
+
+	st := g.AddInstr(&ir.Instr{Op: ir.SpillStore, Args: []ir.VReg{src}, Sym: slot, Cluster: srcCluster})
+	in.Op = ir.SpillLoad
+	in.Args = nil
+	in.Sym = slot
+
+	if g.HasEdge(def, sp.Copy) {
+		g.RemoveEdge(def, sp.Copy)
+	}
+	g.AddEdge(def, st, dag.EdgeData)
+	g.AddEdge(st, sp.Copy, dag.EdgeMem)
+	if len(g.Succs(sp.Copy)) == 0 {
+		g.AddEdge(sp.Copy, g.Leaf, dag.EdgeSeq)
 	}
 	return nil
 }

@@ -64,6 +64,9 @@ func RunInOrder(p *assign.Program, init *ir.State) (*Result, error) {
 		commit(cycle)
 		issuedThisCycle := 0
 		for idx < len(seq) {
+			if m.IssueWidth > 0 && issuedThisCycle >= m.IssueWidth {
+				break // fetch bound: the rest of the stream waits a cycle
+			}
 			in := seq[idx]
 			cl := m.ClassFor(in.Kind())
 			lat := m.LatencyOf(in.Op)
@@ -103,7 +106,7 @@ func RunInOrder(p *assign.Program, init *ir.State) (*Result, error) {
 						inUse++
 					}
 				}
-				unitFree = inUse < m.Units[cl]
+				unitFree = inUse < m.Units.Get(cl)
 				if inUse+1 > res.MaxBusy[cl] && unitFree {
 					res.MaxBusy[cl] = inUse + 1
 				}

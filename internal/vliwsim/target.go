@@ -1,0 +1,158 @@
+package vliwsim
+
+import (
+	"fmt"
+	"sort"
+
+	"ursa/internal/assign"
+	"ursa/internal/ir"
+	"ursa/internal/machine"
+)
+
+// auditCluster enforces clustered-register-file legality on one issued
+// instruction: a physical register belongs to exactly one cluster (the one
+// whose instructions define it), ordinary instructions may only touch their
+// own cluster's registers, and a copy reads across clusters onto the bus.
+// regCluster accumulates each register's owning cluster as defs appear.
+func auditCluster(p *assign.Program, in *ir.Instr, regCluster map[ir.VReg]uint8, cycle int) error {
+	m := p.Machine
+	if int(in.Cluster) >= m.NumClusters() {
+		return fmt.Errorf("vliwsim: cycle %d: %s on nonexistent cluster %d",
+			cycle, p.Func.InstrString(in), in.Cluster)
+	}
+	for _, u := range in.Uses() {
+		uc, known := regCluster[u]
+		if !known {
+			continue // never defined: live-in state, no cluster claim
+		}
+		if in.IsCopy() {
+			if uc == in.Cluster {
+				return fmt.Errorf("vliwsim: cycle %d: copy %s reads %s from its own cluster %d",
+					cycle, p.Func.InstrString(in), p.Func.NameOf(u), uc)
+			}
+			continue
+		}
+		if uc != in.Cluster {
+			return fmt.Errorf("vliwsim: cycle %d: %s (cluster %d) reads %s owned by cluster %d",
+				cycle, p.Func.InstrString(in), in.Cluster, p.Func.NameOf(u), uc)
+		}
+	}
+	if in.Dst != ir.NoReg {
+		if dc, known := regCluster[in.Dst]; known && dc != in.Cluster {
+			return fmt.Errorf("vliwsim: cycle %d: %s redefines %s across clusters (%d vs %d)",
+				cycle, p.Func.InstrString(in), p.Func.NameOf(in.Dst), dc, in.Cluster)
+		}
+		regCluster[in.Dst] = in.Cluster
+	}
+	return nil
+}
+
+// AuditBuffers statically checks an emitted program against the
+// exposed-datapath buffer bound: every value a functional unit produces
+// occupies one of its class's Units×BufferDepth output-buffer slots from
+// its issue cycle until its last reader issues (half-open, so a reader
+// frees the slot for a same-cycle producer), unless it retires straight to
+// the register file as a program live-out. Dead values occupy their slot
+// for one cycle.
+//
+// The audit applies to cleanly emitted code: assignment-phase spill
+// patching (Program.Spills > 0) packs greedily with no buffer model, so
+// callers should skip patched programs. It is a no-op on machines without
+// buffers.
+func AuditBuffers(p *assign.Program) error {
+	m := p.Machine
+	if m.BufferDepth <= 0 {
+		return nil
+	}
+
+	// A value is one definition of a physical register: it lives from its
+	// defining cycle to the issue of its last read before the register's
+	// next redefinition.
+	type value struct {
+		cl         machine.FUClass
+		start, end int // [start, end) slot occupancy
+		retires    bool
+	}
+	type def struct {
+		cl    machine.FUClass
+		cycle int
+		last  int // last read cycle seen, -1 if none
+		read  bool
+	}
+	live := map[ir.VReg]*def{}
+	var vals []value
+	finish := func(d *def, redefined bool) {
+		if d == nil {
+			return
+		}
+		switch {
+		case d.read:
+			vals = append(vals, value{cl: d.cl, start: d.cycle, end: d.last})
+		case redefined:
+			// Dead value: produced, never read, overwritten later.
+			vals = append(vals, value{cl: d.cl, start: d.cycle, end: d.cycle + 1})
+		default:
+			// Never read, never redefined: retires to the register file.
+			vals = append(vals, value{cl: d.cl, start: d.cycle, retires: true})
+		}
+	}
+	for cycle, w := range p.Words {
+		for _, in := range w {
+			for _, u := range in.Uses() {
+				if d := live[u]; d != nil {
+					d.read = true
+					if cycle > d.last {
+						d.last = cycle
+					}
+				}
+			}
+		}
+		// Reads happen at issue; a redefinition in the same cycle starts a
+		// fresh value after the old one's readers are done.
+		for _, in := range w {
+			if in.Dst == ir.NoReg {
+				continue
+			}
+			finish(live[in.Dst], true)
+			live[in.Dst] = &def{cl: m.ClassFor(in.Kind()), cycle: cycle, last: -1}
+		}
+	}
+	for _, d := range live {
+		finish(d, false)
+	}
+
+	// Sweep each class: +1 at start, -1 at end (retiring values never hold
+	// a slot past their defining cycle's writeback — they stream to the RF).
+	type evt struct {
+		at, delta int
+	}
+	byClass := map[machine.FUClass][]evt{}
+	for _, v := range vals {
+		if v.retires {
+			continue
+		}
+		end := v.end
+		if end <= v.start {
+			end = v.start + 1
+		}
+		byClass[v.cl] = append(byClass[v.cl], evt{v.start, 1}, evt{end, -1})
+	}
+	for cl, evts := range byClass {
+		cap := m.BufferCap(cl)
+		sort.Slice(evts, func(i, j int) bool {
+			if evts[i].at != evts[j].at {
+				return evts[i].at < evts[j].at
+			}
+			return evts[i].delta < evts[j].delta // frees before allocations
+		})
+		cur := 0
+		for _, e := range evts {
+			cur += e.delta
+			if cur > cap {
+				return fmt.Errorf("vliwsim: cycle %d holds %d in-flight %s values, buffer capacity is %d",
+					e.at, cur, cl, cap)
+			}
+		}
+	}
+	return nil
+}

@@ -61,7 +61,15 @@ func Run(p *assign.Program, init *ir.State) (*Result, error) {
 
 	var regWrites []pendingWrite
 	var memWrites []pendingStore
-	busyUntil := map[machine.FUClass][]int{} // per issued op: busy-until cycle
+	// Units audit per (class, cluster): clustered machines replicate their
+	// classes per cluster, except the machine-wide XFER bus (cluster key 0).
+	type unitKey struct {
+		cl      machine.FUClass
+		cluster uint8
+	}
+	busyUntil := map[unitKey][]int{} // per issued op: busy-until cycle
+	regCluster := map[ir.VReg]uint8{}
+	clustered := m.Clusters > 1
 	totalCycles := len(p.Words)
 
 	commit := func(cycle int) {
@@ -86,23 +94,36 @@ func Run(p *assign.Program, init *ir.State) (*Result, error) {
 	taken := false
 	for cycle := 0; cycle < totalCycles && !taken; cycle++ {
 		commit(cycle)
+		if m.IssueWidth > 0 && len(p.Words[cycle]) > m.IssueWidth {
+			return nil, fmt.Errorf("vliwsim: cycle %d issues %d instructions, issue width is %d",
+				cycle, len(p.Words[cycle]), m.IssueWidth)
+		}
 		for _, in := range p.Words[cycle] {
 			cl := m.ClassFor(in.Kind())
 			lat := m.LatencyOf(in.Op)
+			key := unitKey{cl: cl}
+			if clustered && cl != machine.XFER {
+				key.cluster = in.Cluster
+			}
 			// Unit-occupancy check (whole latency unless pipelined).
 			inUse := 0
-			for _, until := range busyUntil[cl] {
+			for _, until := range busyUntil[key] {
 				if until > cycle {
 					inUse++
 				}
 			}
-			if inUse >= m.Units[cl] {
+			if inUse >= m.Units.Get(cl) {
 				return nil, fmt.Errorf("vliwsim: cycle %d over-subscribes %s units (%d busy of %d)",
-					cycle, cl, inUse, m.Units[cl])
+					cycle, cl, inUse, m.Units.Get(cl))
 			}
-			busyUntil[cl] = append(busyUntil[cl], cycle+m.OccupancyOf(in.Op))
+			busyUntil[key] = append(busyUntil[key], cycle+m.OccupancyOf(in.Op))
 			if inUse+1 > res.MaxBusy[cl] {
 				res.MaxBusy[cl] = inUse + 1
+			}
+			if clustered {
+				if err := auditCluster(p, in, regCluster, cycle); err != nil {
+					return nil, err
+				}
 			}
 
 			// Execute: reads see the committed state of this cycle; the

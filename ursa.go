@@ -47,6 +47,7 @@ import (
 	"ursa/internal/reuse"
 	"ursa/internal/sched"
 	"ursa/internal/store"
+	"ursa/internal/target"
 	"ursa/internal/vliwsim"
 	"ursa/internal/workload"
 )
@@ -148,6 +149,25 @@ func Heterogeneous(ialu, falu, mem, br, intRegs, fpRegs int) *Machine {
 // RealisticLatency is a multi-cycle latency model (mul 2, div 4, memory 2)
 // assignable to Machine.Latency.
 func RealisticLatency(op ir.Op) int { return machine.RealisticLatency(op) }
+
+// Preset is a named machine configuration from the target catalog — the
+// paper's evaluation range plus the clustered, wide-superscalar, and
+// exposed-datapath families.
+type Preset = target.Preset
+
+// Presets lists the target catalog in presentation order.
+func Presets() []Preset { return target.Presets() }
+
+// PresetByName returns the named preset, or nil.
+func PresetByName(name string) *Preset { return target.ByName(name) }
+
+// ParseMachineSpec parses a JSON machine spec (the /v1/machines wire form)
+// into a validated configuration.
+func ParseMachineSpec(data []byte) (*Machine, error) { return machine.ParseSpec(data) }
+
+// MarshalMachineSpec renders a configuration as canonical JSON, the
+// inverse of ParseMachineSpec.
+func MarshalMachineSpec(m *Machine) ([]byte, error) { return machine.MarshalSpec(m) }
 
 // ParseIR parses textual three-address IR (see internal/ir's format).
 func ParseIR(src string) (*Func, error) { return ir.Parse(src) }
